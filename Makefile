@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test vet bench bench-full results examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerate every experiment table at full scale into results/.
+results:
+	mkdir -p results
+	$(GO) run ./cmd/offbench -scale full | tee results/offbench_full.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/videopipeline
+	$(GO) run ./examples/mlbatch
+	$(GO) run ./examples/cicd
+
+clean:
+	$(GO) clean ./...

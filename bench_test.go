@@ -1,0 +1,210 @@
+package offload_test
+
+// The benchmark harness: one benchmark per experiment in the evaluation
+// suite (E1–E15, see DESIGN.md and EXPERIMENTS.md), each regenerating its
+// table(s) at the quick scale per iteration, plus micro-benchmarks for the
+// core algorithms. `go test -bench=. -benchmem` reproduces everything;
+// `go run ./cmd/offbench` prints the full-scale tables.
+
+import (
+	"testing"
+
+	"offload"
+	"offload/internal/alloc"
+	"offload/internal/callgraph"
+	"offload/internal/core"
+	"offload/internal/device"
+	"offload/internal/exp"
+	"offload/internal/model"
+	"offload/internal/network"
+	"offload/internal/partition"
+	"offload/internal/rng"
+	"offload/internal/serverless"
+	"offload/internal/sim"
+	"offload/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := exp.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scale := exp.Quick()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(scale)
+		if len(tables) == 0 || tables[0].Len() == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkE1Placement regenerates Figure 1: policies × app templates.
+func BenchmarkE1Placement(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2MemorySweep regenerates Figure 2: cost/time vs memory.
+func BenchmarkE2MemorySweep(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3Partition regenerates Table 1: partitioner comparison.
+func BenchmarkE3Partition(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4ColdStart regenerates Figure 3: cold starts and batching.
+func BenchmarkE4ColdStart(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5Energy regenerates Figure 4: device energy and battery life.
+func BenchmarkE5Energy(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6DeadlineSlack regenerates Figure 5: miss rate vs slack.
+func BenchmarkE6DeadlineSlack(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7CostCrossover regenerates Table 2: monthly cost crossover.
+func BenchmarkE7CostCrossover(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8Pipeline regenerates Table 3: CI/CD stage timings + rollback.
+func BenchmarkE8Pipeline(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9Scalability regenerates Figure 6: fleet scaling.
+func BenchmarkE9Scalability(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10PredictionError regenerates Table 4: demand-error ablation.
+func BenchmarkE10PredictionError(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11OffPeak regenerates Table 5: delay-for-price shifting.
+func BenchmarkE11OffPeak(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12Failures regenerates Table 6: failures and retries.
+func BenchmarkE12Failures(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13DVFS regenerates Table 7: race-to-idle vs DVFS vs offload.
+func BenchmarkE13DVFS(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkE14Bursts regenerates Table 8: burst absorption.
+func BenchmarkE14Bursts(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkE15Granularity regenerates Table 9: deployment granularity.
+func BenchmarkE15Granularity(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkE16Providers regenerates Table 10: provider-aware allocation.
+func BenchmarkE16Providers(b *testing.B) { benchExperiment(b, "E16") }
+
+// --- micro-benchmarks for the core algorithms ---
+
+// BenchmarkSimEngine measures raw event throughput of the kernel.
+func BenchmarkSimEngine(b *testing.B) {
+	eng := sim.NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(1, func() {})
+		eng.Step()
+	}
+}
+
+// BenchmarkMinCutTemplate partitions the ml-batch template.
+func BenchmarkMinCutTemplate(b *testing.B) {
+	g := callgraph.MLBatch()
+	m := core.CostModelFor(device.Smartphone(), serverless.LambdaLike(),
+		serverless.LambdaLike().FullShareBytes, network.WiFiCloud(), core.DefaultWeights())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.MinCut(g, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinCut100 partitions a 100-component random graph.
+func BenchmarkMinCut100(b *testing.B) {
+	g := callgraph.Random(rng.New(1), 100)
+	m := core.CostModelFor(device.Smartphone(), serverless.LambdaLike(),
+		serverless.LambdaLike().FullShareBytes, network.WiFiCloud(), core.DefaultWeights())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.MinCut(g, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocChoose sizes a function over the 159-step Lambda ladder.
+func BenchmarkAllocChoose(b *testing.B) {
+	a := alloc.New(serverless.LambdaLike())
+	req := alloc.Request{Cycles: 3e10, ParallelFraction: 0.8,
+		MemoryFloorBytes: 1 << 30, ColdStartProb: 0.3, TimeBudget: 300}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Choose(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineDP splits a budget across a five-stage function chain.
+func BenchmarkPipelineDP(b *testing.B) {
+	a := alloc.New(serverless.LambdaLike())
+	reqs := []alloc.Request{
+		{Cycles: 2e9}, {Cycles: 8e9}, {Cycles: 3e10, ParallelFraction: 0.8},
+		{Cycles: 5e9}, {Cycles: 1e9},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.ChoosePipeline(reqs, 120, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerThroughput measures end-to-end tasks/second through
+// the deadline-aware scheduler with all substrates live.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	cfg := offload.DefaultConfig()
+	sys, err := offload.NewSystem(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := offload.StandardMix(sys.Src.Split())
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr := workload.NewPoisson(sys.Src.Split(), 0.02)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.SubmitStream(arr, gen, 1)
+		sys.Run()
+	}
+	if sys.Stats().Total() != uint64(b.N) {
+		b.Fatalf("completed %d of %d", sys.Stats().Total(), b.N)
+	}
+}
+
+// BenchmarkProfileCatalog profiles a five-component application.
+func BenchmarkProfileCatalog(b *testing.B) {
+	g := callgraph.ReportGen()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PlanApp(g, core.PlanOptions{
+			Device:     device.Smartphone(),
+			Serverless: serverless.LambdaLike(),
+			CloudPath:  network.WiFiCloud(),
+			Seed:       uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerlessInvoke measures simulated invocation overhead.
+func BenchmarkServerlessInvoke(b *testing.B) {
+	eng := sim.NewEngine()
+	p := serverless.NewPlatform(eng, rng.New(1), serverless.LambdaLike())
+	fn, err := p.Deploy(serverless.FunctionConfig{Name: "bench", MemoryBytes: 1792 * model.MB})
+	if err != nil {
+		b.Fatal(err)
+	}
+	task := &model.Task{Cycles: 1e9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn.Execute(task, func(model.ExecReport) {})
+		eng.Run()
+	}
+}

@@ -1,0 +1,133 @@
+// Command cicddemo walks through the CI/CD integration end to end: a
+// vanilla deployment pipeline, the offload-integrated pipeline (profile →
+// partition → allocate → deploy → canary), and a third run with an
+// injected performance regression that the canary catches and rolls back.
+//
+// Usage:
+//
+//	cicddemo            # uses the report-gen template
+//	cicddemo -app sci-batch -regression 8
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"offload/internal/callgraph"
+	"offload/internal/cicd"
+	"offload/internal/core"
+	"offload/internal/device"
+	"offload/internal/metrics"
+	"offload/internal/model"
+	"offload/internal/network"
+	"offload/internal/profile"
+	"offload/internal/rng"
+	"offload/internal/serverless"
+	"offload/internal/sim"
+)
+
+func main() {
+	var (
+		appFlag  = flag.String("app", "report-gen", "application template")
+		regFlag  = flag.Float64("regression", 5, "injected slowdown factor for the third run")
+		seedFlag = flag.Uint64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	g, ok := callgraph.Templates()[*appFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cicddemo: unknown app %q (have %v)\n", *appFlag, callgraph.TemplateNames())
+		os.Exit(2)
+	}
+
+	eng := sim.NewEngine()
+	platform := serverless.NewPlatform(eng, rng.New(*seedFlag), serverless.LambdaLike())
+	cost := core.CostModelFor(device.Smartphone(), serverless.LambdaLike(),
+		serverless.LambdaLike().FullShareBytes, network.WiFiCloud(), core.DefaultWeights())
+
+	fmt.Println("== round 1: vanilla pipeline (no offloading stages) ==")
+	vanilla := &cicd.Build{App: g}
+	vanRep := run(eng, vanilla)
+	printReport(vanRep)
+
+	fmt.Println("== round 2: offload-integrated pipeline ==")
+	healthy := &cicd.Build{
+		App: g, Platform: platform, Cost: cost,
+		Meter:       profile.NewMeter(rng.New(*seedFlag+1), 0.05),
+		ProfileRuns: 30,
+		Canary:      cicd.CanarySpec{Invocations: 5, SLOFactor: 2},
+		WithOffload: true,
+	}
+	healthyCtx := cicd.NewContext()
+	healthyRep := runCtx(eng, healthy, healthyCtx)
+	printReport(healthyRep)
+	var manifest *cicd.Manifest
+	if mv, ok := healthyCtx.Get(cicd.KeyManifest); ok {
+		manifest = mv.(*cicd.Manifest)
+		fmt.Printf("deployed functions:\n")
+		for _, fn := range manifest.Functions {
+			fmt.Printf("  %-32s %5d MB\n", fn.Name, fn.MemoryBytes/model.MB)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("== round 3: a build with a %gx performance regression ==\n", *regFlag)
+	regressed := &cicd.Build{
+		App: g, Platform: platform, Cost: cost,
+		Meter:            profile.NewMeter(rng.New(*seedFlag+2), 0.05),
+		ProfileRuns:      30,
+		Canary:           cicd.CanarySpec{Invocations: 5, SLOFactor: 2},
+		Previous:         manifest,
+		InjectRegression: *regFlag,
+		WithOffload:      true,
+	}
+	regCtx := cicd.NewContext()
+	regRep := runCtx(eng, regressed, regCtx)
+	printReport(regRep)
+	if cv, ok := regCtx.Get(cicd.KeyCanary); ok {
+		c := cv.(cicd.CanaryResult)
+		fmt.Printf("canary: mean exec %.3gs vs expectation %.3gs (SLO %.3gs) → passed=%v\n",
+			c.MeanExecS, c.ExpectedS, 2*c.ExpectedS, c.Passed)
+	}
+	if rb, ok := regRep.Stage("rollback"); ok && errors.Is(rb.Err, cicd.ErrRolledBack) {
+		fmt.Println("rollback: previous manifest restored, release skipped ✓")
+	}
+}
+
+func run(eng *sim.Engine, b *cicd.Build) cicd.Report {
+	return runCtx(eng, b, cicd.NewContext())
+}
+
+func runCtx(eng *sim.Engine, b *cicd.Build, ctx *cicd.Context) cicd.Report {
+	p, err := b.Pipeline()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cicddemo: %v\n", err)
+		os.Exit(1)
+	}
+	var rep cicd.Report
+	p.Run(eng, ctx, func(r cicd.Report) { rep = r })
+	eng.Run()
+	return rep
+}
+
+func printReport(rep cicd.Report) {
+	tbl := metrics.NewTable("", "stage", "start_s", "dur_s", "status")
+	for _, res := range rep.Results {
+		status := "ok"
+		switch {
+		case res.Skipped:
+			status = "skipped"
+		case res.Err != nil:
+			status = "FAILED: " + res.Err.Error()
+		}
+		tbl.AddRow(res.Name,
+			fmt.Sprintf("%.0f", float64(res.Start)),
+			fmt.Sprintf("%.1f", float64(res.Duration())),
+			status)
+	}
+	fmt.Println(tbl.String())
+	fmt.Printf("pipeline %s: total %.0fs, succeeded=%v\n\n",
+		rep.Pipeline, float64(rep.Duration()), rep.Succeeded())
+}

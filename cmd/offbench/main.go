@@ -1,0 +1,95 @@
+// Command offbench regenerates the evaluation suite E1–E15 from DESIGN.md
+// and prints each table (aligned text by default, CSV with -csv).
+//
+// Usage:
+//
+//	offbench                 # run everything at full scale
+//	offbench -exp E2,E4      # selected experiments
+//	offbench -scale quick    # the CI-sized scale
+//	offbench -csv            # machine-readable output
+//	offbench -list           # print the experiment index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"offload/internal/exp"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		scaleFlag = flag.String("scale", "full", "scale: quick or full")
+		csvFlag   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		outFlag   = flag.String("out", "", "also write each table as a CSV file into this directory")
+		listFlag  = flag.Bool("list", false, "list experiments and exit")
+		seedFlag  = flag.Uint64("seed", 1, "base RNG seed")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range exp.Registry() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Claim)
+		}
+		return
+	}
+
+	var scale exp.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = exp.Quick()
+	case "full":
+		scale = exp.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "offbench: unknown scale %q (quick|full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+	scale.Seed = *seedFlag
+
+	var selected []exp.Experiment
+	if *expFlag == "" {
+		selected = exp.Registry()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, err := exp.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "offbench: %v\n", err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *outFlag != "" {
+		if err := os.MkdirAll(*outFlag, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "offbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tables := e.Run(scale)
+		fmt.Printf("### %s — %s (ran in %v)\n\n", e.ID, e.Claim, time.Since(start).Round(time.Millisecond))
+		for i, t := range tables {
+			if *csvFlag {
+				fmt.Printf("# %s\n%s\n", t.Title(), t.CSV())
+			} else {
+				fmt.Println(t.String())
+			}
+			if *outFlag != "" {
+				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(e.ID), i+1)
+				path := filepath.Join(*outFlag, name)
+				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "offbench: writing %s: %v\n", path, err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}

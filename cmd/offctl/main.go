@@ -1,0 +1,259 @@
+// Command offctl is the developer-facing planning tool: it profiles an
+// application graph, partitions it, allocates serverless resources and
+// emits the deployment manifest — the offline half of the framework.
+//
+// Usage:
+//
+//	offctl plan -app sci-batch                 # plan a built-in template
+//	offctl plan -spec app.json -out manifest.json
+//	offctl profile -app ml-batch               # demand catalog only
+//	offctl partition -app video-transcode      # partition only
+//	offctl templates                           # list built-in templates
+//	offctl export -app report-gen              # dump a template's JSON spec
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"offload/internal/callgraph"
+	"offload/internal/chain"
+	"offload/internal/core"
+	"offload/internal/device"
+	"offload/internal/metrics"
+	"offload/internal/model"
+	"offload/internal/network"
+	"offload/internal/partition"
+	"offload/internal/profile"
+	"offload/internal/rng"
+	"offload/internal/serverless"
+	"offload/internal/sim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	appFlag := fs.String("app", "", "built-in application template name")
+	specFlag := fs.String("spec", "", "path to a JSON application spec")
+	outFlag := fs.String("out", "", "write the manifest JSON to this file")
+	seedFlag := fs.Uint64("seed", 1, "RNG seed")
+	noiseFlag := fs.Float64("noise", 0.05, "relative profiling measurement noise")
+	runsFlag := fs.Int("runs", 30, "profiling runs per component")
+	dotFlag := fs.Bool("dot", false, "emit Graphviz DOT (partition/export)")
+
+	switch cmd {
+	case "templates":
+		for _, name := range callgraph.TemplateNames() {
+			g := callgraph.Templates()[name]
+			fmt.Printf("%-16s %2d components, %.3g Gcycles/run\n",
+				name, g.Len(), g.TotalCycles()/1e9)
+		}
+		return
+	case "plan", "profile", "partition", "export", "simulate":
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			os.Exit(2)
+		}
+	default:
+		usage()
+	}
+
+	g, err := loadGraph(*appFlag, *specFlag)
+	if err != nil {
+		fail(err)
+	}
+
+	switch cmd {
+	case "export":
+		if *dotFlag {
+			fmt.Print(g.DOT(nil))
+			return
+		}
+		data, err := json.MarshalIndent(g, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(data))
+		return
+
+	case "profile":
+		meter := profile.NewMeter(rng.New(*seedFlag), *noiseFlag)
+		cat, err := profile.BuildCatalog(g, meter, *runsFlag)
+		if err != nil {
+			fail(err)
+		}
+		tbl := metrics.NewTable("demand catalog for "+g.Name(),
+			"component", "mean_gcycles", "p95_gcycles", "memory_mb", "runs")
+		for _, p := range cat.Profiles() {
+			tbl.AddRowf(p.Name, p.MeanCycles/1e9, p.P95Cycles/1e9,
+				fmt.Sprintf("%d", p.MemoryBytes/model.MB), fmt.Sprintf("%d", p.Runs))
+		}
+		fmt.Println(tbl.String())
+		return
+
+	case "partition":
+		cm := core.CostModelFor(device.Smartphone(), serverless.LambdaLike(),
+			serverless.LambdaLike().FullShareBytes, network.WiFiCloud(), core.DefaultWeights())
+		res, err := partition.MinCut(g, cm)
+		if err != nil {
+			fail(err)
+		}
+		if *dotFlag {
+			remote := make(map[string]bool)
+			for _, name := range res.Remote(g) {
+				remote[name] = true
+			}
+			fmt.Print(g.DOT(remote))
+			return
+		}
+		fmt.Printf("app: %s\nobjective: %.6g\noffloaded: %v\n",
+			g.Name(), res.Objective, res.Remote(g))
+		fmt.Printf("all-local objective: %.6g, all-remote: %.6g\n",
+			partition.Objective(g, cm, partition.AllLocal(g)),
+			partition.Objective(g, cm, partition.AllRemote(g)))
+		return
+
+	case "plan":
+		plan, err := core.PlanApp(g, core.PlanOptions{
+			Device:       device.Smartphone(),
+			Serverless:   serverless.LambdaLike(),
+			CloudPath:    network.WiFiCloud(),
+			Seed:         *seedFlag,
+			ProfileRuns:  *runsFlag,
+			ProfileNoise: *noiseFlag,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("app: %s\noffloaded components: %v\n", plan.App, plan.Remote)
+		fmt.Printf("estimated serverless cost per run: $%.6g\n", plan.EstimatedCostPerRunUSD)
+		tbl := metrics.NewTable("deployment manifest", "function", "component", "memory_mb")
+		for _, fn := range plan.Manifest.Functions {
+			tbl.AddRow(fn.Name, fn.Component, fmt.Sprintf("%d", fn.MemoryBytes/model.MB))
+		}
+		fmt.Println(tbl.String())
+		if *outFlag != "" {
+			data, err := plan.Manifest.Encode()
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*outFlag, data, 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote manifest to %s\n", *outFlag)
+		}
+		return
+
+	case "simulate":
+		if err := simulatePlan(g, *seedFlag, *runsFlag, *noiseFlag); err != nil {
+			fail(err)
+		}
+		return
+	}
+}
+
+// simulatePlan plans the app, deploys the manifest onto a fresh simulated
+// platform, and executes one run through the chain runner — the full
+// offline-to-runtime journey in one command.
+func simulatePlan(g *callgraph.Graph, seed uint64, runs int, noise float64) error {
+	plan, err := core.PlanApp(g, core.PlanOptions{
+		Device:       device.Smartphone(),
+		Serverless:   serverless.LambdaLike(),
+		CloudPath:    network.WiFiCloud(),
+		Seed:         seed,
+		ProfileRuns:  runs,
+		ProfileNoise: noise,
+	})
+	if err != nil {
+		return err
+	}
+	eng := sim.NewEngine()
+	dev := device.New(eng, device.Smartphone())
+	path := network.New(eng, rng.New(seed+5), network.WiFiCloud())
+	platform := serverless.NewPlatform(eng, rng.New(seed+6), serverless.LambdaLike())
+
+	assignment := plan.Partition.Assignment
+	fns := make(map[string]*serverless.Function)
+	for _, spec := range plan.Manifest.Functions {
+		fn, err := platform.Deploy(serverless.FunctionConfig{
+			Name: spec.Name, MemoryBytes: spec.MemoryBytes,
+		})
+		if err != nil {
+			return err
+		}
+		fns[spec.Component] = fn
+	}
+	runner, err := chain.New(eng, chain.Config{
+		Graph: g, Assignment: assignment, Device: dev, Path: path, Functions: fns,
+	})
+	if err != nil {
+		return err
+	}
+	var res chain.Result
+	runner.Run(func(out chain.Result) { res = out })
+	eng.Run()
+
+	fmt.Printf("app: %s (offloaded: %v)\n\n", plan.App, plan.Remote)
+	tbl := metrics.NewTable("one simulated run", "component", "side", "start_s", "dur_s", "transfer_s", "usd")
+	for _, cr := range res.Components {
+		side := "device"
+		if cr.Remote {
+			side = "cloud"
+		}
+		tbl.AddRow(cr.Name, side,
+			fmt.Sprintf("%.3f", float64(cr.Start)),
+			fmt.Sprintf("%.3f", float64(cr.End.Sub(cr.Start))),
+			fmt.Sprintf("%.3f", cr.TransferS),
+			fmt.Sprintf("%.3g", cr.Exec.CostUSD))
+	}
+	fmt.Println(tbl.String())
+	fmt.Printf("run: %.2f s end to end, $%.6g billed, %.0f mJ device energy, %d cut transfers (%d bytes)\n",
+		float64(res.Duration()), res.CostUSD, res.EnergyMilliJ, res.CutEdges, res.BytesMoved)
+	if res.Failed {
+		return fmt.Errorf("run failed")
+	}
+	return nil
+}
+
+func loadGraph(app, spec string) (*callgraph.Graph, error) {
+	switch {
+	case app != "" && spec != "":
+		return nil, fmt.Errorf("use either -app or -spec, not both")
+	case app != "":
+		g, ok := callgraph.Templates()[app]
+		if !ok {
+			return nil, fmt.Errorf("unknown template %q (have %v)", app, callgraph.TemplateNames())
+		}
+		return g, nil
+	case spec != "":
+		data, err := os.ReadFile(spec)
+		if err != nil {
+			return nil, err
+		}
+		return callgraph.Parse(data)
+	default:
+		return nil, fmt.Errorf("one of -app or -spec is required")
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: offctl <command> [flags]
+
+commands:
+  plan        profile + partition + allocate, emit the deployment manifest
+  profile     build the demand catalog for an application
+  partition   compute the min-cut device/cloud split
+  export      print a built-in template as a JSON spec
+  simulate    plan, deploy and execute one run end to end
+  templates   list built-in application templates`)
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "offctl: %v\n", err)
+	os.Exit(1)
+}

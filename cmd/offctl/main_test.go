@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadGraphTemplate(t *testing.T) {
+	g, err := loadGraph("sci-batch", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "sci-batch" {
+		t.Fatalf("Name = %s", g.Name())
+	}
+}
+
+func TestLoadGraphSpecFile(t *testing.T) {
+	spec := `{
+	  "name": "custom",
+	  "components": [
+	    {"name": "ui", "cycles": 1e7, "pinned": true},
+	    {"name": "work", "cycles": 1e10}
+	  ],
+	  "edges": [{"from": "ui", "to": "work", "bytes": 1024}]
+	}`
+	path := filepath.Join(t.TempDir(), "app.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadGraph("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "custom" || g.Len() != 2 {
+		t.Fatalf("parsed %s with %d components", g.Name(), g.Len())
+	}
+}
+
+func TestLoadGraphErrors(t *testing.T) {
+	if _, err := loadGraph("", ""); err == nil {
+		t.Error("neither -app nor -spec accepted")
+	}
+	if _, err := loadGraph("a", "b"); err == nil {
+		t.Error("both -app and -spec accepted")
+	}
+	if _, err := loadGraph("no-such-template", ""); err == nil {
+		t.Error("unknown template accepted")
+	}
+	if _, err := loadGraph("", "/does/not/exist.json"); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}

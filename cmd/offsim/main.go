@@ -1,0 +1,165 @@
+// Command offsim runs one offloading scenario: a task stream from the
+// application templates scheduled by a chosen policy over the simulated
+// substrates, reporting completion times, money, energy and placements.
+//
+// Usage:
+//
+//	offsim -policy deadline-aware -tasks 1000 -rate 0.02
+//	offsim -app sci-batch -policy cloud-all -trace run.jsonl
+//	offsim -no-edge -no-vm            # the framework's serverless-only deployment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"offload/internal/callgraph"
+	"offload/internal/core"
+	"offload/internal/metrics"
+	"offload/internal/model"
+	"offload/internal/trace"
+	"offload/internal/workload"
+)
+
+func main() {
+	var (
+		policyFlag = flag.String("policy", "deadline-aware", "placement policy (local-only|edge-all|cloud-all|vm-all|random|deadline-aware)")
+		appFlag    = flag.String("app", "", "single application template (default: five-template mix)")
+		tasksFlag  = flag.Int("tasks", 500, "number of tasks")
+		rateFlag   = flag.Float64("rate", 0.02, "Poisson arrival rate per second")
+		seedFlag   = flag.Uint64("seed", 1, "RNG seed")
+		noEdge     = flag.Bool("no-edge", false, "remove the edge site")
+		noVM       = flag.Bool("no-vm", false, "remove the VM fleet")
+		batchFlag  = flag.Int("batch", 0, "batch size for serverless tasks (0 = off)")
+		traceFlag  = flag.String("trace", "", "write a JSONL task trace to this file")
+		replayFlag = flag.String("replay", "", "replay a JSONL task trace instead of generating a workload")
+		budgetFlag = flag.Float64("budget", 0, "daily serverless budget in USD (0 = unlimited)")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seedFlag
+	cfg.Policy = core.PolicyName(*policyFlag)
+	cfg.ArrivalRateHint = *rateFlag
+	if *noEdge {
+		cfg.Edge, cfg.EdgePath = nil, nil
+	}
+	if *noVM {
+		cfg.VM = nil
+	}
+	if *batchFlag > 0 {
+		cfg.Batch = &core.BatchConfig{Size: *batchFlag, MaxWait: 3600}
+	}
+	cfg.DailyBudgetUSD = *budgetFlag
+
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	if *replayFlag != "" {
+		f, err := os.Open(*replayFlag)
+		if err != nil {
+			fail(err)
+		}
+		records, err := trace.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		if err := trace.Replay(sys.Eng, records, sys.Submit); err != nil {
+			fail(err)
+		}
+		*tasksFlag = len(records)
+		sys.Run()
+		printSummary(sys, "replay:"+*replayFlag, *tasksFlag, 0)
+		writeTrace(sys, *traceFlag)
+		return
+	}
+
+	var mix []workload.WeightedTemplate
+	if *appFlag != "" {
+		g, ok := callgraph.Templates()[*appFlag]
+		if !ok {
+			fail(fmt.Errorf("unknown app %q (have %v)", *appFlag, callgraph.TemplateNames()))
+		}
+		t, err := workload.FromGraph(g)
+		if err != nil {
+			fail(err)
+		}
+		mix = []workload.WeightedTemplate{{Template: t, Weight: 1}}
+	} else {
+		for _, name := range callgraph.TemplateNames() {
+			t, err := workload.FromGraph(callgraph.Templates()[name])
+			if err != nil {
+				fail(err)
+			}
+			mix = append(mix, workload.WeightedTemplate{Template: t, Weight: 1})
+		}
+	}
+	gen, err := workload.NewGenerator(sys.Src.Split(), mix)
+	if err != nil {
+		fail(err)
+	}
+
+	sys.SubmitStream(workload.NewPoisson(sys.Src.Split(), *rateFlag), gen, *tasksFlag)
+	sys.Run()
+	printSummary(sys, *policyFlag, *tasksFlag, *rateFlag)
+	writeTrace(sys, *traceFlag)
+}
+
+func printSummary(sys *core.System, label string, tasks int, rate float64) {
+	st := sys.Stats()
+	summary := metrics.NewTable(fmt.Sprintf("offsim: %s, %d tasks at %g/s", label, tasks, rate),
+		"metric", "value")
+	summary.AddRowf("completed", fmt.Sprintf("%d", st.Completed))
+	summary.AddRowf("failed", fmt.Sprintf("%d", st.Failed))
+	summary.AddRowf("mean completion (s)", st.MeanCompletion())
+	summary.AddRowf("p95 completion (s)", st.P95Completion())
+	summary.AddRowf("deadline misses", fmt.Sprintf("%d (%.1f%%)", st.Missed, 100*st.MissRate()))
+	summary.AddRowf("marginal cost ($/task)", st.CostPerTask())
+	summary.AddRowf("infrastructure cost ($)", sys.InfrastructureCostUSD())
+	summary.AddRowf("device energy (mJ/task)", st.EnergyPerTaskMilliJ())
+	summary.AddRowf("virtual time (s)", float64(sys.Eng.Now()))
+	summary.AddRowf("events fired", fmt.Sprintf("%d", sys.Eng.Fired()))
+	fmt.Println(summary.String())
+
+	placements := metrics.NewTable("placements", "placement", "tasks")
+	for _, p := range model.AllPlacements() {
+		if n := st.ByPlacement[p]; n > 0 {
+			placements.AddRow(p.String(), fmt.Sprintf("%d", n))
+		}
+	}
+	fmt.Println(placements.String())
+
+	if p := sys.Platform(); p != nil && p.Stats().Invocations > 0 {
+		ps := p.Stats()
+		faas := metrics.NewTable("serverless platform", "metric", "value")
+		faas.AddRowf("invocations", fmt.Sprintf("%d", ps.Invocations))
+		faas.AddRowf("cold starts", fmt.Sprintf("%d (%.1f%%)", ps.ColdStarts,
+			100*float64(ps.ColdStarts)/float64(ps.Invocations)))
+		faas.AddRowf("billed ($)", ps.BilledUSD)
+		fmt.Println(faas.String())
+	}
+}
+
+func writeTrace(sys *core.System, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := sys.Recorder.WriteJSONL(f); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %d trace records to %s\n", sys.Recorder.Len(), path)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "offsim: %v\n", err)
+	os.Exit(1)
+}

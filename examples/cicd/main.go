@@ -1,0 +1,78 @@
+// Cicd: computational offloading as part of the deployment process. A
+// healthy release runs the offload-integrated pipeline (profile →
+// partition → allocate → deploy → canary); then a build with a performance
+// regression goes through the same pipeline, fails its canary and rolls
+// back to the previous manifest automatically.
+//
+//	go run ./examples/cicd
+package main
+
+import (
+	"fmt"
+
+	"offload"
+)
+
+func main() {
+	app := offload.ReportGen()
+
+	// Baseline: the pipeline without offloading stages.
+	vanilla, err := offload.RunDeployPipeline(app, offload.DeployOptions{
+		Seed:           1,
+		WithoutOffload: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("vanilla pipeline:            %3.0f s\n", float64(vanilla.Report.Duration()))
+
+	// Healthy offload-integrated release.
+	healthy, err := offload.RunDeployPipeline(app, offload.DeployOptions{
+		Seed:              1,
+		ProfileRuns:       30,
+		CanaryInvocations: 5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("offload-integrated pipeline: %3.0f s (overhead %.0f%%)\n",
+		float64(healthy.Report.Duration()),
+		100*(float64(healthy.Report.Duration())/float64(vanilla.Report.Duration())-1))
+	fmt.Println("\nstages:")
+	for _, res := range healthy.Report.Results {
+		fmt.Printf("  %-10s start %4.0fs  dur %5.1fs\n",
+			res.Name, float64(res.Start), float64(res.Duration()))
+	}
+	fmt.Println("\ndeployed manifest:")
+	for _, fn := range healthy.Manifest.Functions {
+		fmt.Printf("  %-28s %5d MB\n", fn.Name, fn.MemoryBytes/(1<<20))
+	}
+	if healthy.Canary != nil {
+		fmt.Printf("canary: mean %.2fs vs expected %.2fs → passed=%v\n",
+			healthy.Canary.MeanExecS, healthy.Canary.ExpectedS, healthy.Canary.Passed)
+	}
+
+	// A regressed build: canary catches it, rollback restores the previous
+	// manifest, release is skipped.
+	fmt.Println("\n--- shipping a build that is 6x slower ---")
+	regressed, err := offload.RunDeployPipeline(app, offload.DeployOptions{
+		Seed:              2,
+		ProfileRuns:       30,
+		CanaryInvocations: 5,
+		Previous:          healthy.Manifest,
+		InjectRegression:  6,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if regressed.Canary != nil {
+		fmt.Printf("canary: mean %.2fs vs expected %.2fs → passed=%v\n",
+			regressed.Canary.MeanExecS, regressed.Canary.ExpectedS, regressed.Canary.Passed)
+	}
+	fmt.Printf("rolled back: %v\n", regressed.RolledBack)
+	if release, ok := regressed.Report.Stage("release"); ok {
+		fmt.Printf("release skipped: %v\n", release.Skipped)
+	}
+	fmt.Printf("pipeline succeeded: %v (by design — the bad build never shipped)\n",
+		regressed.Report.Succeeded())
+}

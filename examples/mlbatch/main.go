@@ -1,0 +1,80 @@
+// Mlbatch: the strongest non-time-critical use case — nightly ML batch
+// inference with an eight-hour completion budget. The example compares
+// immediate dispatch against delay-tolerant batching (which amortises
+// cold starts and per-request charges), and sweeps the serverless memory
+// ladder to show the allocator's cost-optimal pick.
+//
+//	go run ./examples/mlbatch
+package main
+
+import (
+	"fmt"
+
+	"offload"
+)
+
+func main() {
+	// 1. How should the inference function be sized? Sweep the ladder.
+	plan, err := offload.PlanApp(offload.MLBatch(), offload.PlanOptions{
+		Device:     offload.Smartphone(),
+		Serverless: offload.LambdaLike(),
+		CloudPath:  offload.WiFiCloud(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("plan for %q: offload %v\n", plan.App, plan.Remote)
+	for _, fn := range plan.Manifest.Functions {
+		fmt.Printf("  %-24s %5d MB\n", fn.Name, fn.MemoryBytes/(1<<20))
+	}
+	fmt.Printf("estimated bill per run: $%.6f\n\n", plan.EstimatedCostPerRunUSD)
+
+	// 2. Overnight batch: 120 inference jobs trickle in at ~0.001/s (one
+	// every ~17 minutes — far apart compared with the 7-minute container
+	// keep-alive, so naive dispatch pays a cold start nearly every time).
+	// With an 8-hour budget there is no reason to.
+	const rate = 0.001
+	run := func(batch int) (cold float64, perTask float64, mean float64) {
+		cfg := offload.DefaultConfig()
+		cfg.Policy = offload.PolicyCloudAll
+		cfg.Edge, cfg.EdgePath, cfg.VM = nil, nil, nil // serverless only
+		cfg.ArrivalRateHint = rate
+		if batch > 1 {
+			cfg.Batch = &offload.BatchConfig{Size: batch, MaxWait: 7200}
+		}
+		sys, err := offload.NewSystem(cfg)
+		if err != nil {
+			panic(err)
+		}
+		tmpl, err := offload.TemplateFromGraph(offload.MLBatch())
+		if err != nil {
+			panic(err)
+		}
+		gen, err := offload.NewGenerator(sys.Src.Split(), tmpl)
+		if err != nil {
+			panic(err)
+		}
+		sys.SubmitStream(offload.NewPoisson(sys.Src.Split(), rate), gen, 120)
+		sys.Run()
+		ps := sys.Platform().Stats()
+		coldFrac := 0.0
+		if ps.Invocations > 0 {
+			coldFrac = float64(ps.ColdStarts) / float64(ps.Invocations)
+		}
+		return coldFrac, sys.Stats().CostPerTask(), sys.Stats().MeanCompletion()
+	}
+
+	fmt.Println("overnight batch, 120 jobs at 0.001/s (8 h deadline):")
+	fmt.Printf("  %-18s %-12s %-14s %s\n", "dispatch", "cold starts", "$/task", "mean completion")
+	for _, batch := range []int{1, 8, 32} {
+		cold, cost, mean := run(batch)
+		label := "immediate"
+		if batch > 1 {
+			label = fmt.Sprintf("batched (%d)", batch)
+		}
+		fmt.Printf("  %-18s %-12s $%-13.6f %.0f s\n",
+			label, fmt.Sprintf("%.1f%%", 100*cold), cost, mean)
+	}
+	fmt.Println("\nbatching trades completion latency (still far inside the 8 h budget)")
+	fmt.Println("for fewer cold starts and a lower bill — the delay-tolerance dividend.")
+}

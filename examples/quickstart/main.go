@@ -1,0 +1,47 @@
+// Quickstart: assemble the default offloading environment, stream a mixed
+// non-time-critical workload through the deadline-aware policy, and print
+// what it cost in time, money and battery.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"offload"
+)
+
+func main() {
+	// A smartphone with an edge site, a Lambda-like serverless region and
+	// a small VM — everything the policy may choose between.
+	cfg := offload.DefaultConfig()
+	cfg.Policy = offload.PolicyDeadlineAware
+	cfg.ArrivalRateHint = 0.02 // ~72 tasks/hour
+
+	sys, err := offload.NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	// An even mix of the five built-in applications: video transcoding,
+	// ML batch inference, photo pipelines, report generation, scientific
+	// batch jobs. All are delay tolerant (deadlines in minutes to hours).
+	gen, err := offload.StandardMix(sys.Src.Split())
+	if err != nil {
+		panic(err)
+	}
+	sys.SubmitStream(offload.NewPoisson(sys.Src.Split(), 0.02), gen, 200)
+	sys.Run()
+
+	st := sys.Stats()
+	fmt.Printf("tasks completed:   %d (failed %d)\n", st.Completed, st.Failed)
+	fmt.Printf("mean completion:   %.1f s (p95 %.1f s)\n", st.MeanCompletion(), st.P95Completion())
+	fmt.Printf("deadline misses:   %.1f%%\n", 100*st.MissRate())
+	fmt.Printf("marginal cost:     $%.6f per task\n", st.CostPerTask())
+	fmt.Printf("infrastructure:    $%.4f accrued\n", sys.InfrastructureCostUSD())
+	fmt.Printf("device energy:     %.0f mJ per task\n", st.EnergyPerTaskMilliJ())
+	fmt.Println("\nwhere the work ran:")
+	for placement, n := range st.ByPlacement {
+		fmt.Printf("  %-10s %d\n", placement, n)
+	}
+}

@@ -1,0 +1,94 @@
+// Videopipeline: plan and run the video-transcoding application — the
+// interesting borderline case. Its 64 MB payloads make naive offloading
+// expensive in radio time and energy, so the partitioner has to decide
+// per component, and the outcome depends on the network you give it.
+//
+// The example plans the app twice (over WiFi and over LTE), shows what
+// each plan offloads, and then simulates an evening of transcode jobs
+// under three policies.
+//
+//	go run ./examples/videopipeline
+package main
+
+import (
+	"fmt"
+
+	"offload"
+)
+
+func main() {
+	app := offload.VideoTranscode()
+	fmt.Printf("application %q: %d components, %.0f Gcycles per run\n\n",
+		app.Name(), app.Len(), app.TotalCycles()/1e9)
+
+	// Plan over two networks with battery-first weights: the user is on
+	// battery and the job is overnight, so seconds barely matter, joules
+	// do (a charge valued at $2), and dollars count at face value. Better
+	// uplinks make moving the 64 MB chunks cheaper, so the WiFi plan
+	// should offload more than the LTE plan.
+	batteryFirst := offload.Weights{Latency: 1e-4, Energy: 4.6e-5, Money: 1}
+	for _, net := range []struct {
+		name string
+		cfg  func() offload.PlanOptions
+	}{
+		{"WiFi (50 Mbps up)", func() offload.PlanOptions {
+			return offload.PlanOptions{
+				Device: offload.Smartphone(), Serverless: offload.LambdaLike(),
+				CloudPath: offload.WiFiCloud(), Weights: batteryFirst,
+			}
+		}},
+		{"LTE (10 Mbps up)", func() offload.PlanOptions {
+			return offload.PlanOptions{
+				Device: offload.Smartphone(), Serverless: offload.LambdaLike(),
+				CloudPath: offload.LTECloud(), Weights: batteryFirst,
+			}
+		}},
+	} {
+		plan, err := offload.PlanApp(offload.VideoTranscode(), net.cfg())
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("plan over %s:\n", net.name)
+		if len(plan.Remote) == 0 {
+			fmt.Println("  keep everything on the device (transfers cost more than they save)")
+		}
+		for _, fn := range plan.Manifest.Functions {
+			fmt.Printf("  offload %-12s → %s (%d MB)\n",
+				fn.Component, fn.Name, fn.MemoryBytes/(1<<20))
+		}
+		fmt.Printf("  estimated serverless bill per run: $%.6f\n\n", plan.EstimatedCostPerRunUSD)
+	}
+
+	// An evening of transcode jobs: 60 uploads over ~3 hours.
+	fmt.Println("simulating 60 transcode jobs (rate 0.005/s) per policy:")
+	for _, policy := range []offload.PolicyName{
+		offload.PolicyLocalOnly, offload.PolicyCloudAll, offload.PolicyDeadlineAware,
+	} {
+		cfg := offload.DefaultConfig()
+		cfg.Policy = policy
+		cfg.ArrivalRateHint = 0.005
+		sys, err := offload.NewSystem(cfg)
+		if err != nil {
+			panic(err)
+		}
+		single, err := singleAppGenerator(sys, "video-transcode")
+		if err != nil {
+			panic(err)
+		}
+		sys.SubmitStream(offload.NewPoisson(sys.Src.Split(), 0.005), single, 60)
+		sys.Run()
+		st := sys.Stats()
+		fmt.Printf("  %-15s mean %6.1fs  miss %4.1f%%  $%.5f/task  %7.0f mJ/task\n",
+			policy, st.MeanCompletion(), 100*st.MissRate(),
+			st.CostPerTask(), st.EnergyPerTaskMilliJ())
+	}
+}
+
+// singleAppGenerator builds a generator over one template.
+func singleAppGenerator(sys *offload.System, app string) (*offload.Generator, error) {
+	tmpl, err := offload.TemplateFromGraph(offload.Templates()[app])
+	if err != nil {
+		return nil, err
+	}
+	return offload.NewGenerator(sys.Src.Split(), tmpl)
+}

@@ -1,0 +1,3 @@
+module offload
+
+go 1.22

@@ -1,0 +1,232 @@
+// Package alloc implements serverless resource allocation for
+// non-time-critical work — the paper's central originality claim. Given a
+// component's predicted demand (from internal/profile) and a completion
+// budget, it chooses the function memory size that minimises expected
+// dollar cost on a serverless platform, exploiting the structure of FaaS
+// pricing:
+//
+//   - CPU grows with memory, so bigger functions finish sooner;
+//   - price is memory × billed seconds, and memory pressure inflates
+//     execution time when the working set barely fits, so the cost curve
+//     over the memory ladder is U-shaped (pressure-inflated billed time on
+//     the left, wasted memory on the right);
+//   - delay-tolerant tasks can trade time for money by batching
+//     invocations into one warm container, amortising cold starts.
+//
+// The pipeline allocator splits a single completion budget across a chain
+// of functions by dynamic programming over discretised time.
+package alloc
+
+import (
+	"fmt"
+	"math"
+
+	"offload/internal/model"
+	"offload/internal/serverless"
+	"offload/internal/sim"
+)
+
+// Request is one allocation problem.
+type Request struct {
+	// Cycles is the predicted computational demand per invocation.
+	Cycles float64
+	// ParallelFraction is the Amdahl-parallelisable share of the work.
+	ParallelFraction float64
+	// MemoryFloorBytes is the working-set size; candidate memory sizes
+	// below it are infeasible.
+	MemoryFloorBytes int64
+	// TimeBudget bounds the expected per-invocation time (cold start
+	// included pro rata). Zero means unbounded — fully delay tolerant.
+	TimeBudget sim.Duration
+	// ColdStartProb is the expected fraction of invocations that pay a
+	// cold start (see ColdStartProbability).
+	ColdStartProb float64
+}
+
+// Validate reports whether the request is well formed.
+func (r Request) Validate() error {
+	switch {
+	case r.Cycles < 0:
+		return fmt.Errorf("alloc: negative demand")
+	case r.ParallelFraction < 0 || r.ParallelFraction > 1:
+		return fmt.Errorf("alloc: parallel fraction %g outside [0,1]", r.ParallelFraction)
+	case r.MemoryFloorBytes < 0:
+		return fmt.Errorf("alloc: negative memory floor")
+	case r.TimeBudget < 0:
+		return fmt.Errorf("alloc: negative time budget")
+	case r.ColdStartProb < 0 || r.ColdStartProb > 1:
+		return fmt.Errorf("alloc: cold-start probability %g outside [0,1]", r.ColdStartProb)
+	}
+	return nil
+}
+
+// Decision is one evaluated configuration.
+type Decision struct {
+	MemoryBytes     int64
+	ExpectedTime    sim.Duration // expected wall time per invocation
+	ExpectedCostUSD float64      // expected bill per invocation
+	Feasible        bool         // meets the request's TimeBudget
+}
+
+// Allocator chooses function configurations for one platform.
+type Allocator struct {
+	cfg serverless.Config
+}
+
+// New returns an allocator for the given platform configuration. It panics
+// if the configuration is invalid.
+func New(cfg serverless.Config) *Allocator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Allocator{cfg: cfg}
+}
+
+// expectedCold returns the mean cold-start duration for a memory size.
+func (a *Allocator) expectedCold(memBytes int64) sim.Duration {
+	cs := a.cfg.ColdStart
+	if cs.MedianSec == 0 {
+		return 0
+	}
+	// Mean of a lognormal with median m and dispersion sigma.
+	mean := cs.MedianSec * math.Exp(cs.Sigma*cs.Sigma/2)
+	return sim.Duration(mean + cs.PerGBExtra*float64(memBytes)/float64(model.GB))
+}
+
+// Evaluate computes the expected time and cost of serving the request with
+// the given memory size.
+func (a *Allocator) Evaluate(req Request, memBytes int64) Decision {
+	task := &model.Task{
+		Cycles:           req.Cycles,
+		ParallelFraction: req.ParallelFraction,
+		MemoryBytes:      req.MemoryFloorBytes,
+	}
+	exec := a.cfg.ExecTime(task, memBytes)
+	cold := a.expectedCold(memBytes)
+	expTime := exec + sim.Duration(req.ColdStartProb*float64(cold))
+	// Expected bill: cold invocations are billed for init + run.
+	cost := req.ColdStartProb*a.cfg.Price.Bill(memBytes, cold+exec) +
+		(1-req.ColdStartProb)*a.cfg.Price.Bill(memBytes, exec)
+	d := Decision{
+		MemoryBytes:     memBytes,
+		ExpectedTime:    expTime,
+		ExpectedCostUSD: cost,
+		Feasible:        memBytes >= req.MemoryFloorBytes,
+	}
+	if req.TimeBudget > 0 && expTime > req.TimeBudget {
+		d.Feasible = false
+	}
+	return d
+}
+
+// Sweep evaluates the request at every ladder size, in ascending memory
+// order — the raw data behind the E2 cost curve.
+func (a *Allocator) Sweep(req Request) ([]Decision, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	ladder := a.cfg.MemoryLadder()
+	out := make([]Decision, 0, len(ladder))
+	for _, m := range ladder {
+		out = append(out, a.Evaluate(req, m))
+	}
+	return out, nil
+}
+
+// Choose returns the cheapest feasible configuration; ties break toward
+// smaller memory. If no configuration meets the time budget, it returns
+// the fastest feasible-by-memory configuration with Feasible=false, so
+// callers can degrade gracefully.
+func (a *Allocator) Choose(req Request) (Decision, error) {
+	decisions, err := a.Sweep(req)
+	if err != nil {
+		return Decision{}, err
+	}
+	var best Decision
+	haveBest := false
+	var fastest Decision
+	haveFastest := false
+	for _, d := range decisions {
+		if d.MemoryBytes < req.MemoryFloorBytes {
+			continue
+		}
+		if !haveFastest || d.ExpectedTime < fastest.ExpectedTime {
+			fastest, haveFastest = d, true
+		}
+		if !d.Feasible {
+			continue
+		}
+		if !haveBest || d.ExpectedCostUSD < best.ExpectedCostUSD-1e-15 {
+			best, haveBest = d, true
+		}
+	}
+	if haveBest {
+		return best, nil
+	}
+	if haveFastest {
+		return fastest, nil
+	}
+	return Decision{}, fmt.Errorf("alloc: working set %d bytes exceeds the platform maximum %d",
+		req.MemoryFloorBytes, a.cfg.MaxMemory)
+}
+
+// ColdStartProbability returns the probability a Poisson arrival finds no
+// warm container, i.e. the previous arrival was more than keepAlive ago:
+// exp(-rate·keepAlive). A zero keep-alive makes every invocation cold.
+func ColdStartProbability(ratePerSec float64, keepAlive sim.Duration) float64 {
+	if ratePerSec <= 0 {
+		return 1
+	}
+	if keepAlive <= 0 {
+		return 1
+	}
+	return math.Exp(-ratePerSec * float64(keepAlive))
+}
+
+// BatchPlan describes serving batchSize delay-tolerant invocations
+// sequentially in one container: one request charge, one possible cold
+// start, batchSize executions.
+type BatchPlan struct {
+	BatchSize          int
+	MemoryBytes        int64
+	PerTaskCostUSD     float64
+	PerTaskTime        sim.Duration // mean completion time within the batch
+	TotalTime          sim.Duration
+	SavingsVsUnbatched float64 // fractional cost saving
+}
+
+// PlanBatch evaluates batched execution of req at the given memory size.
+// batchSize must be positive.
+func (a *Allocator) PlanBatch(req Request, memBytes int64, batchSize int) (BatchPlan, error) {
+	if err := req.Validate(); err != nil {
+		return BatchPlan{}, err
+	}
+	if batchSize <= 0 {
+		return BatchPlan{}, fmt.Errorf("alloc: batch size %d not positive", batchSize)
+	}
+	task := &model.Task{
+		Cycles:           req.Cycles,
+		ParallelFraction: req.ParallelFraction,
+		MemoryBytes:      req.MemoryFloorBytes,
+	}
+	exec := a.cfg.ExecTime(task, memBytes)
+	cold := sim.Duration(req.ColdStartProb * float64(a.expectedCold(memBytes)))
+	total := cold + sim.Duration(float64(exec)*float64(batchSize))
+	batchedCost := a.cfg.Price.Bill(memBytes, total)
+	single := a.Evaluate(req, memBytes)
+	unbatched := single.ExpectedCostUSD * float64(batchSize)
+	savings := 0.0
+	if unbatched > 0 {
+		savings = 1 - batchedCost/unbatched
+	}
+	// Mean completion: task i finishes at cold + (i+1)·exec.
+	mean := float64(cold) + float64(exec)*(float64(batchSize)+1)/2
+	return BatchPlan{
+		BatchSize:          batchSize,
+		MemoryBytes:        memBytes,
+		PerTaskCostUSD:     batchedCost / float64(batchSize),
+		PerTaskTime:        sim.Duration(mean),
+		TotalTime:          total,
+		SavingsVsUnbatched: savings,
+	}, nil
+}

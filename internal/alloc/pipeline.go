@@ -1,0 +1,148 @@
+package alloc
+
+import (
+	"fmt"
+
+	"offload/internal/sim"
+)
+
+// PipelineDecision allocates one memory size per stage of a function chain.
+type PipelineDecision struct {
+	Stages       []Decision
+	TotalTime    sim.Duration
+	TotalCostUSD float64
+	Feasible     bool
+}
+
+// ChoosePipeline splits a single completion budget across a chain of
+// functions, minimising total expected cost subject to the sum of stage
+// times staying within budget. It runs a dynamic program over the budget
+// discretised into slots (finer slots cost more time; 200 is a good
+// default). A zero budget allocates every stage independently at its
+// cheapest point.
+func (a *Allocator) ChoosePipeline(reqs []Request, budget sim.Duration, slots int) (PipelineDecision, error) {
+	if len(reqs) == 0 {
+		return PipelineDecision{}, fmt.Errorf("alloc: empty pipeline")
+	}
+	for i, r := range reqs {
+		if err := r.Validate(); err != nil {
+			return PipelineDecision{}, fmt.Errorf("stage %d: %w", i, err)
+		}
+		if r.TimeBudget != 0 {
+			return PipelineDecision{}, fmt.Errorf("alloc: stage %d carries its own budget; use the pipeline budget", i)
+		}
+	}
+	if budget < 0 {
+		return PipelineDecision{}, fmt.Errorf("alloc: negative pipeline budget")
+	}
+
+	if budget == 0 {
+		// Unbounded: cheapest point per stage.
+		out := PipelineDecision{Feasible: true}
+		for _, r := range reqs {
+			d, err := a.Choose(r)
+			if err != nil {
+				return PipelineDecision{}, err
+			}
+			out.Stages = append(out.Stages, d)
+			out.TotalTime += d.ExpectedTime
+			out.TotalCostUSD += d.ExpectedCostUSD
+		}
+		return out, nil
+	}
+	if slots <= 0 {
+		return PipelineDecision{}, fmt.Errorf("alloc: slots must be positive with a budget")
+	}
+
+	// Candidate decisions per stage, memory floor enforced.
+	cands := make([][]Decision, len(reqs))
+	for i, r := range reqs {
+		all, err := a.Sweep(r)
+		if err != nil {
+			return PipelineDecision{}, err
+		}
+		for _, d := range all {
+			if d.MemoryBytes >= r.MemoryFloorBytes {
+				cands[i] = append(cands[i], d)
+			}
+		}
+		if len(cands[i]) == 0 {
+			return PipelineDecision{}, fmt.Errorf("alloc: stage %d working set exceeds platform maximum", i)
+		}
+	}
+
+	// DP over time slots: cost[i][s] = min cost of stages 0..i using at
+	// most s slots of the budget. Stage times are rounded UP to slots, so
+	// a feasible DP answer is feasible in continuous time too.
+	slotDur := float64(budget) / float64(slots)
+	const inf = 1e300
+	prev := make([]float64, slots+1)
+	prevPick := make([][]int, 0, len(reqs)) // pick[i][s] = candidate index
+	for s := range prev {
+		prev[s] = 0 // zero stages cost nothing
+	}
+	for i := range reqs {
+		cur := make([]float64, slots+1)
+		pick := make([]int, slots+1)
+		for s := range cur {
+			cur[s] = inf
+			pick[s] = -1
+		}
+		for ci, d := range cands[i] {
+			need := int(float64(d.ExpectedTime)/slotDur) + 1
+			if float64(d.ExpectedTime) <= 0 {
+				need = 0
+			}
+			for s := need; s <= slots; s++ {
+				if prev[s-need] >= inf {
+					continue
+				}
+				if c := prev[s-need] + d.ExpectedCostUSD; c < cur[s] {
+					cur[s] = c
+					pick[s] = ci
+				}
+			}
+		}
+		prev = cur
+		prevPick = append(prevPick, pick)
+	}
+
+	if prev[slots] >= inf {
+		// Budget infeasible: fall back to the fastest configuration per
+		// stage and report infeasibility.
+		out := PipelineDecision{Feasible: false}
+		for i := range reqs {
+			fastest := cands[i][0]
+			for _, d := range cands[i] {
+				if d.ExpectedTime < fastest.ExpectedTime {
+					fastest = d
+				}
+			}
+			out.Stages = append(out.Stages, fastest)
+			out.TotalTime += fastest.ExpectedTime
+			out.TotalCostUSD += fastest.ExpectedCostUSD
+		}
+		return out, nil
+	}
+
+	// Backtrack: pick[i][s] is the argmin candidate for "stages 0..i within
+	// s slots", so following it reconstructs the optimal chain.
+	out := PipelineDecision{Feasible: true, Stages: make([]Decision, len(reqs))}
+	s := slots
+	for i := len(reqs) - 1; i >= 0; i-- {
+		ci := prevPick[i][s]
+		if ci < 0 {
+			return PipelineDecision{}, fmt.Errorf("alloc: internal backtrack failure at stage %d", i)
+		}
+		d := cands[i][ci]
+		out.Stages[i] = d
+		out.TotalTime += d.ExpectedTime
+		out.TotalCostUSD += d.ExpectedCostUSD
+		need := int(float64(d.ExpectedTime)/slotDur) + 1
+		if float64(d.ExpectedTime) <= 0 {
+			need = 0
+		}
+		s -= need
+	}
+	return out, nil
+}

@@ -1,0 +1,47 @@
+package callgraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz format. Pinned components are drawn
+// as boxes, offloadable ones as ellipses; node labels carry per-run
+// demand, edge labels the per-run payload. If remote is non-nil, offloaded
+// components are filled — `offctl partition | dot -Tsvg` visualises a
+// partition.
+func (g *Graph) DOT(remote map[string]bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", g.name)
+	for _, c := range g.components {
+		shape := "ellipse"
+		if c.Pinned {
+			shape = "box"
+		}
+		attrs := fmt.Sprintf("shape=%s, label=\"%s\\n%.3g Gcyc\"", shape, c.Name, c.Cycles*c.CallsPerRun/1e9)
+		if remote != nil && remote[c.Name] {
+			attrs += ", style=filled, fillcolor=lightblue"
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", c.Name, attrs)
+	}
+	for _, e := range g.edges {
+		from := g.components[e.From].Name
+		to := g.components[e.To].Name
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%s\"];\n", from, to, byteLabel(int64(float64(e.Bytes)*e.CallsPerRun)))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func byteLabel(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GB", float64(n)/float64(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/float64(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,44 @@
+package callgraph
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParse checks the spec parser never panics and that anything it
+// accepts survives a marshal→parse round trip.
+func FuzzParse(f *testing.F) {
+	for _, g := range Templates() {
+		data, err := json.Marshal(g)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"x","components":[{"name":"a","cycles":1,"pinned":true}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","components":[{"name":"a","cycles":-1}]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Parse(data)
+		if err != nil {
+			return // rejecting garbage is fine; panicking is not
+		}
+		// Accepted graphs must be internally valid and re-parseable.
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Parse accepted an invalid graph: %v", err)
+		}
+		out, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("accepted graph does not marshal: %v", err)
+		}
+		back, err := Parse(out)
+		if err != nil {
+			t.Fatalf("accepted graph does not re-parse: %v", err)
+		}
+		if back.Len() != g.Len() || len(back.Edges()) != len(g.Edges()) {
+			t.Fatal("round trip changed graph shape")
+		}
+	})
+}

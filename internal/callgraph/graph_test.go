@@ -1,0 +1,306 @@
+package callgraph
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"offload/internal/rng"
+)
+
+func smallGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New("test-app")
+	g.MustAddComponent(Component{Name: "ui", Cycles: 1e7, Pinned: true})
+	g.MustAddComponent(Component{Name: "work", Cycles: 1e10, MemoryBytes: 1 << 28})
+	g.MustAddComponent(Component{Name: "store", Cycles: 1e8})
+	if err := g.Connect("ui", "work", 1<<20, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("work", "store", 1<<16, 2); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAddComponentErrors(t *testing.T) {
+	g := New("app")
+	tests := []struct {
+		name    string
+		comp    Component
+		wantErr string
+	}{
+		{"empty name", Component{}, "empty name"},
+		{"negative cycles", Component{Name: "a", Cycles: -1}, "negative weight"},
+		{"negative memory", Component{Name: "b", MemoryBytes: -1}, "negative weight"},
+		{"negative calls", Component{Name: "c", CallsPerRun: -1}, "negative weight"},
+		{"bad parallel", Component{Name: "d", ParallelFraction: 1.5}, "parallel fraction"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := g.AddComponent(tt.comp); err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("AddComponent = %v, want error containing %q", err, tt.wantErr)
+			}
+		})
+	}
+	if _, err := g.AddComponent(Component{Name: "ok", Cycles: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddComponent(Component{Name: "ok", Cycles: 1}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestCallsPerRunDefaultsToOne(t *testing.T) {
+	g := New("app")
+	id := g.MustAddComponent(Component{Name: "a", Cycles: 1})
+	if got := g.Component(id).CallsPerRun; got != 1 {
+		t.Fatalf("CallsPerRun = %g, want default 1", got)
+	}
+	g.MustAddComponent(Component{Name: "b", Cycles: 1})
+	g.MustAddEdge(Edge{From: 0, To: 1, Bytes: 10})
+	if got := g.Edges()[0].CallsPerRun; got != 1 {
+		t.Fatalf("edge CallsPerRun = %g, want default 1", got)
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New("app")
+	g.MustAddComponent(Component{Name: "a", Cycles: 1})
+	g.MustAddComponent(Component{Name: "b", Cycles: 1})
+	if err := g.AddEdge(Edge{From: 0, To: 5}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := g.AddEdge(Edge{From: 0, To: 0}); err == nil {
+		t.Error("self edge accepted")
+	}
+	if err := g.AddEdge(Edge{From: 0, To: 1, Bytes: -1}); err == nil {
+		t.Error("negative bytes accepted")
+	}
+	if err := g.Connect("a", "missing", 1, 1); err == nil {
+		t.Error("edge to unknown name accepted")
+	}
+	if err := g.Connect("missing", "a", 1, 1); err == nil {
+		t.Error("edge from unknown name accepted")
+	}
+}
+
+func TestValidateRequiresPinned(t *testing.T) {
+	g := New("app")
+	if err := g.Validate(); err == nil {
+		t.Error("empty graph validated")
+	}
+	g.MustAddComponent(Component{Name: "a", Cycles: 1})
+	if err := g.Validate(); err == nil {
+		t.Error("graph without pinned component validated")
+	}
+	g.MustAddComponent(Component{Name: "ui", Cycles: 1, Pinned: true})
+	if err := g.Validate(); err != nil {
+		t.Errorf("valid graph rejected: %v", err)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	g := smallGraph(t)
+	wantCycles := 1e7 + 1e10 + 1e8
+	if got := g.TotalCycles(); got != wantCycles {
+		t.Fatalf("TotalCycles = %g, want %g", got, wantCycles)
+	}
+	wantBytes := float64(1<<20)*2 + float64(1<<16)*2
+	if got := g.TotalEdgeBytes(); got != wantBytes {
+		t.Fatalf("TotalEdgeBytes = %g, want %g", got, wantBytes)
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := smallGraph(t)
+	work, _ := g.Lookup("work")
+	if got := len(g.Neighbors(work)); got != 2 {
+		t.Fatalf("Neighbors(work) = %d edges, want 2", got)
+	}
+	ui, _ := g.Lookup("ui")
+	if got := len(g.Neighbors(ui)); got != 1 {
+		t.Fatalf("Neighbors(ui) = %d edges, want 1", got)
+	}
+}
+
+func TestCopySemantics(t *testing.T) {
+	g := smallGraph(t)
+	comps := g.Components()
+	comps[0].Cycles = 999
+	if g.Component(0).Cycles == 999 {
+		t.Fatal("Components() returned aliased storage")
+	}
+	edges := g.Edges()
+	edges[0].Bytes = 999
+	if g.Edges()[0].Bytes == 999 {
+		t.Fatal("Edges() returned aliased storage")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := smallGraph(t)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != g.Name() || back.Len() != g.Len() {
+		t.Fatalf("round trip changed shape: %s/%d vs %s/%d",
+			back.Name(), back.Len(), g.Name(), g.Len())
+	}
+	for i := 0; i < g.Len(); i++ {
+		if back.Component(ComponentID(i)) != g.Component(ComponentID(i)) {
+			t.Fatalf("component %d changed: %+v vs %+v",
+				i, back.Component(ComponentID(i)), g.Component(ComponentID(i)))
+		}
+	}
+	be, ge := back.Edges(), g.Edges()
+	if len(be) != len(ge) {
+		t.Fatalf("edge count changed: %d vs %d", len(be), len(ge))
+	}
+	for i := range ge {
+		if be[i] != ge[i] {
+			t.Fatalf("edge %d changed: %+v vs %+v", i, be[i], ge[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		spec string
+	}{
+		{"bad json", "{"},
+		{"no name", `{"components":[{"name":"a","cycles":1,"pinned":true}]}`},
+		{"no pinned", `{"name":"x","components":[{"name":"a","cycles":1}]}`},
+		{"bad edge", `{"name":"x","components":[{"name":"a","cycles":1,"pinned":true}],"edges":[{"from":"a","to":"zz","bytes":1}]}`},
+		{"dup component", `{"name":"x","components":[{"name":"a","cycles":1,"pinned":true},{"name":"a","cycles":1}]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse([]byte(tt.spec)); err == nil {
+				t.Fatalf("Parse(%s) succeeded", tt.spec)
+			}
+		})
+	}
+}
+
+func TestTemplatesValid(t *testing.T) {
+	for name, g := range Templates() {
+		if err := g.Validate(); err != nil {
+			t.Errorf("template %s invalid: %v", name, err)
+		}
+		if g.Name() != name {
+			t.Errorf("template map key %q != graph name %q", name, g.Name())
+		}
+		if g.Len() < 4 {
+			t.Errorf("template %s suspiciously small: %d components", name, g.Len())
+		}
+		// Every template must round-trip through the spec format.
+		data, err := json.Marshal(g)
+		if err != nil {
+			t.Errorf("template %s does not marshal: %v", name, err)
+			continue
+		}
+		if _, err := Parse(data); err != nil {
+			t.Errorf("template %s does not re-parse: %v", name, err)
+		}
+	}
+	if len(Templates()) != len(TemplateNames()) {
+		t.Fatalf("Templates() and TemplateNames() disagree")
+	}
+	for _, name := range TemplateNames() {
+		if Templates()[name] == nil {
+			t.Errorf("TemplateNames lists unknown template %q", name)
+		}
+	}
+}
+
+func TestRandomGraphProperties(t *testing.T) {
+	f := func(seed uint64, size uint8) bool {
+		n := 2 + int(size)%15
+		g := Random(rng.New(seed), n)
+		if g.Len() != n {
+			return false
+		}
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		// Connectivity: every non-root component has an incoming edge.
+		hasIn := make([]bool, n)
+		for _, e := range g.Edges() {
+			// DAG property: edges go from lower to higher IDs.
+			if e.From >= e.To {
+				return false
+			}
+			hasIn[e.To] = true
+		}
+		for i := 1; i < n; i++ {
+			if !hasIn[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	g := smallGraph(t)
+	dot := g.DOT(map[string]bool{"work": true})
+	for _, want := range []string{
+		`digraph "test-app"`,
+		`"ui" [shape=box`,                   // pinned = box
+		`"work" [shape=ellipse`,             // offloadable = ellipse
+		`style=filled, fillcolor=lightblue`, // marked remote
+		`"ui" -> "work"`,
+		`2.0 MB`, // edge payload label (1 MB × 2 calls per run)
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Nil remote map renders without fill.
+	plain := g.DOT(nil)
+	if strings.Contains(plain, "fillcolor") {
+		t.Error("nil remote map produced filled nodes")
+	}
+}
+
+func TestByteLabel(t *testing.T) {
+	tests := []struct {
+		n    int64
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2.0 KB"},
+		{3 << 20, "3.0 MB"},
+		{5 << 30, "5.0 GB"},
+	}
+	for _, tt := range tests {
+		if got := byteLabel(tt.n); got != tt.want {
+			t.Errorf("byteLabel(%d) = %q, want %q", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(rng.New(9), 10)
+	b := Random(rng.New(9), 10)
+	if a.Len() != b.Len() || len(a.Edges()) != len(b.Edges()) {
+		t.Fatal("Random not deterministic for equal seeds")
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatal("Random edges differ for equal seeds")
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package callgraph
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The on-disk spec format for application graphs, used by cmd/offctl and
+// the CI/CD pipeline. Components are referenced by name in edges.
+
+type jsonGraph struct {
+	Name       string          `json:"name"`
+	Components []jsonComponent `json:"components"`
+	Edges      []jsonEdge      `json:"edges"`
+}
+
+type jsonComponent struct {
+	Name             string  `json:"name"`
+	Cycles           float64 `json:"cycles"`
+	MemoryBytes      int64   `json:"memory_bytes,omitempty"`
+	CallsPerRun      float64 `json:"calls_per_run,omitempty"`
+	Pinned           bool    `json:"pinned,omitempty"`
+	ParallelFraction float64 `json:"parallel_fraction,omitempty"`
+}
+
+type jsonEdge struct {
+	From        string  `json:"from"`
+	To          string  `json:"to"`
+	Bytes       int64   `json:"bytes"`
+	CallsPerRun float64 `json:"calls_per_run,omitempty"`
+}
+
+// MarshalJSON encodes the graph in the spec format.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.name}
+	for _, c := range g.components {
+		jg.Components = append(jg.Components, jsonComponent{
+			Name:             c.Name,
+			Cycles:           c.Cycles,
+			MemoryBytes:      c.MemoryBytes,
+			CallsPerRun:      c.CallsPerRun,
+			Pinned:           c.Pinned,
+			ParallelFraction: c.ParallelFraction,
+		})
+	}
+	for _, e := range g.edges {
+		jg.Edges = append(jg.Edges, jsonEdge{
+			From:        g.components[e.From].Name,
+			To:          g.components[e.To].Name,
+			Bytes:       e.Bytes,
+			CallsPerRun: e.CallsPerRun,
+		})
+	}
+	return json.Marshal(jg)
+}
+
+// Parse decodes a graph from the JSON spec format.
+func Parse(data []byte) (*Graph, error) {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return nil, fmt.Errorf("callgraph: parsing spec: %w", err)
+	}
+	if jg.Name == "" {
+		return nil, fmt.Errorf("callgraph: spec has no application name")
+	}
+	g := New(jg.Name)
+	for _, jc := range jg.Components {
+		_, err := g.AddComponent(Component{
+			Name:             jc.Name,
+			Cycles:           jc.Cycles,
+			MemoryBytes:      jc.MemoryBytes,
+			CallsPerRun:      jc.CallsPerRun,
+			Pinned:           jc.Pinned,
+			ParallelFraction: jc.ParallelFraction,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, je := range jg.Edges {
+		if err := g.Connect(je.From, je.To, je.Bytes, je.CallsPerRun); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,159 @@
+package callgraph
+
+import (
+	"fmt"
+
+	"offload/internal/model"
+	"offload/internal/rng"
+)
+
+// The five application templates used across the evaluation. All are
+// non-time-critical by construction — batch or background jobs where the
+// user tolerates seconds-to-hours of completion time — matching the
+// paper's target use cases. Each has a pinned device-side anchor and a
+// compute-heavy interior that is worth offloading to varying degrees.
+
+// VideoTranscode models a background video-transcoding job: a large input,
+// a highly parallel encode stage, and small metadata flowing back.
+func VideoTranscode() *Graph {
+	g := New("video-transcode")
+	g.MustAddComponent(Component{Name: "ui", Cycles: 5e7, Pinned: true})
+	g.MustAddComponent(Component{Name: "chunker", Cycles: 4e8, MemoryBytes: 256 * model.MB})
+	g.MustAddComponent(Component{Name: "transcoder", Cycles: 6e10, MemoryBytes: 1536 * model.MB, ParallelFraction: 0.9})
+	g.MustAddComponent(Component{Name: "thumbnailer", Cycles: 2e9, MemoryBytes: 256 * model.MB, ParallelFraction: 0.5})
+	g.MustAddComponent(Component{Name: "packager", Cycles: 8e8, MemoryBytes: 512 * model.MB})
+	mustConnect(g, "ui", "chunker", 64*model.MB, 1)
+	mustConnect(g, "chunker", "transcoder", 64*model.MB, 1)
+	mustConnect(g, "transcoder", "thumbnailer", 2*model.MB, 1)
+	mustConnect(g, "transcoder", "packager", 48*model.MB, 1)
+	mustConnect(g, "packager", "ui", 1*model.MB, 1)
+	return g
+}
+
+// MLBatch models nightly batch inference: many small records pushed
+// through a heavy model.
+func MLBatch() *Graph {
+	g := New("ml-batch")
+	g.MustAddComponent(Component{Name: "collector", Cycles: 1e8, Pinned: true})
+	g.MustAddComponent(Component{Name: "preprocess", Cycles: 3e9, MemoryBytes: 512 * model.MB, ParallelFraction: 0.7})
+	g.MustAddComponent(Component{Name: "features", Cycles: 5e9, MemoryBytes: 768 * model.MB, ParallelFraction: 0.8})
+	g.MustAddComponent(Component{Name: "inference", Cycles: 3e10, MemoryBytes: 2048 * model.MB, ParallelFraction: 0.85})
+	g.MustAddComponent(Component{Name: "postprocess", Cycles: 6e8, MemoryBytes: 256 * model.MB})
+	mustConnect(g, "collector", "preprocess", 16*model.MB, 1)
+	mustConnect(g, "preprocess", "features", 8*model.MB, 1)
+	mustConnect(g, "features", "inference", 4*model.MB, 1)
+	mustConnect(g, "inference", "postprocess", 512*model.KB, 1)
+	mustConnect(g, "postprocess", "collector", 256*model.KB, 1)
+	return g
+}
+
+// PhotoPipeline models a photo backup/enhancement pipeline: moderate
+// compute, chatty interactions per photo.
+func PhotoPipeline() *Graph {
+	g := New("photo-pipeline")
+	g.MustAddComponent(Component{Name: "camera", Cycles: 2e7, Pinned: true, CallsPerRun: 20})
+	g.MustAddComponent(Component{Name: "resize", Cycles: 4e8, MemoryBytes: 128 * model.MB, CallsPerRun: 20})
+	g.MustAddComponent(Component{Name: "enhance", Cycles: 3e9, MemoryBytes: 512 * model.MB, CallsPerRun: 20, ParallelFraction: 0.6})
+	g.MustAddComponent(Component{Name: "detect", Cycles: 6e9, MemoryBytes: 1024 * model.MB, CallsPerRun: 20, ParallelFraction: 0.75})
+	g.MustAddComponent(Component{Name: "sync", Cycles: 1e8, MemoryBytes: 64 * model.MB, CallsPerRun: 20})
+	mustConnect(g, "camera", "resize", 4*model.MB, 20)
+	mustConnect(g, "resize", "enhance", 2*model.MB, 20)
+	mustConnect(g, "enhance", "detect", 2*model.MB, 20)
+	mustConnect(g, "detect", "sync", 128*model.KB, 20)
+	mustConnect(g, "sync", "camera", 16*model.KB, 20)
+	return g
+}
+
+// ReportGen models business-report generation: query-heavy with small
+// payloads; the cheapest template to offload.
+func ReportGen() *Graph {
+	g := New("report-gen")
+	g.MustAddComponent(Component{Name: "dashboard", Cycles: 5e7, Pinned: true})
+	g.MustAddComponent(Component{Name: "query", Cycles: 2e9, MemoryBytes: 512 * model.MB})
+	g.MustAddComponent(Component{Name: "aggregate", Cycles: 8e9, MemoryBytes: 1024 * model.MB, ParallelFraction: 0.8})
+	g.MustAddComponent(Component{Name: "charts", Cycles: 1.5e9, MemoryBytes: 256 * model.MB})
+	g.MustAddComponent(Component{Name: "compose", Cycles: 9e8, MemoryBytes: 256 * model.MB})
+	mustConnect(g, "dashboard", "query", 64*model.KB, 1)
+	mustConnect(g, "query", "aggregate", 8*model.MB, 1)
+	mustConnect(g, "aggregate", "charts", 1*model.MB, 1)
+	mustConnect(g, "charts", "compose", 2*model.MB, 1)
+	mustConnect(g, "compose", "dashboard", 4*model.MB, 1)
+	return g
+}
+
+// SciBatch models an overnight scientific batch job: enormous compute on
+// modest data, the strongest case for cloud offloading.
+func SciBatch() *Graph {
+	g := New("sci-batch")
+	g.MustAddComponent(Component{Name: "instrument", Cycles: 1e8, Pinned: true})
+	g.MustAddComponent(Component{Name: "clean", Cycles: 2e9, MemoryBytes: 512 * model.MB})
+	g.MustAddComponent(Component{Name: "simulate", Cycles: 2e11, MemoryBytes: 3072 * model.MB, ParallelFraction: 0.95})
+	g.MustAddComponent(Component{Name: "analyze", Cycles: 1e10, MemoryBytes: 1024 * model.MB, ParallelFraction: 0.8})
+	g.MustAddComponent(Component{Name: "visualize", Cycles: 2e9, MemoryBytes: 512 * model.MB})
+	mustConnect(g, "instrument", "clean", 32*model.MB, 1)
+	mustConnect(g, "clean", "simulate", 16*model.MB, 1)
+	mustConnect(g, "simulate", "analyze", 8*model.MB, 1)
+	mustConnect(g, "analyze", "visualize", 4*model.MB, 1)
+	mustConnect(g, "visualize", "instrument", 2*model.MB, 1)
+	return g
+}
+
+// Templates returns all application templates keyed by name.
+func Templates() map[string]*Graph {
+	graphs := []*Graph{
+		VideoTranscode(), MLBatch(), PhotoPipeline(), ReportGen(), SciBatch(),
+	}
+	out := make(map[string]*Graph, len(graphs))
+	for _, g := range graphs {
+		out[g.Name()] = g
+	}
+	return out
+}
+
+// TemplateNames returns template names in canonical order.
+func TemplateNames() []string {
+	return []string{"video-transcode", "ml-batch", "photo-pipeline", "report-gen", "sci-batch"}
+}
+
+func mustConnect(g *Graph, from, to string, bytes int64, calls float64) {
+	if err := g.Connect(from, to, bytes, calls); err != nil {
+		panic(err)
+	}
+}
+
+// Random generates a layered random DAG with n components (component 0
+// pinned), for partitioner stress tests and the E3 optimality comparison.
+// Weights span three orders of magnitude so instances include both
+// compute-bound and communication-bound regions.
+func Random(src *rng.Source, n int) *Graph {
+	g := New("random")
+	g.MustAddComponent(Component{Name: "root", Cycles: 1e7, Pinned: true})
+	for i := 1; i < n; i++ {
+		g.MustAddComponent(Component{
+			Name:             compName(i),
+			Cycles:           src.Pareto(1e8, 1.1),
+			MemoryBytes:      int64(src.Uniform(64, 2048)) * model.MB,
+			ParallelFraction: src.Uniform(0, 0.9),
+		})
+	}
+	// Layered DAG edges: every component gets at least one upstream link to
+	// keep the graph connected; extra edges appear with probability 0.3.
+	for i := 1; i < n; i++ {
+		from := ComponentID(src.Intn(i))
+		g.MustAddEdge(Edge{From: from, To: ComponentID(i), Bytes: randBytes(src)})
+		for j := 0; j < i; j++ {
+			if ComponentID(j) != from && src.Bool(0.3/float64(i)) {
+				g.MustAddEdge(Edge{From: ComponentID(j), To: ComponentID(i), Bytes: randBytes(src)})
+			}
+		}
+	}
+	return g
+}
+
+func randBytes(src *rng.Source) int64 {
+	return int64(src.Pareto(float64(32*model.KB), 1.2))
+}
+
+func compName(i int) string {
+	return fmt.Sprintf("c%03d", i)
+}

@@ -1,0 +1,284 @@
+package chain
+
+import (
+	"math"
+	"testing"
+
+	"offload/internal/callgraph"
+	"offload/internal/device"
+	"offload/internal/model"
+	"offload/internal/network"
+	"offload/internal/partition"
+	"offload/internal/rng"
+	"offload/internal/serverless"
+	"offload/internal/sim"
+)
+
+// pipelineGraph: ui(pinned) → a → b → ui, with a and b offloadable.
+func pipelineGraph() *callgraph.Graph {
+	g := callgraph.New("pipe")
+	g.MustAddComponent(callgraph.Component{Name: "ui", Cycles: 1e8, Pinned: true})
+	g.MustAddComponent(callgraph.Component{Name: "a", Cycles: 2e9})
+	g.MustAddComponent(callgraph.Component{Name: "b", Cycles: 4e9})
+	g.MustAddEdge(callgraph.Edge{From: 0, To: 1, Bytes: 1 << 20})
+	g.MustAddEdge(callgraph.Edge{From: 1, To: 2, Bytes: 1 << 18})
+	g.MustAddEdge(callgraph.Edge{From: 2, To: 0, Bytes: 1 << 16})
+	return g
+}
+
+type fixture struct {
+	eng      *sim.Engine
+	dev      *device.Device
+	path     *network.Path
+	platform *serverless.Platform
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	eng := sim.NewEngine()
+	dev := device.New(eng, device.Config{
+		Name: "ue", CPUHz: 1e9, Cores: 2,
+		ActivePowerW: 2, TxPowerW: 1, RxPowerW: 0.5,
+	})
+	path := network.New(eng, rng.New(1), network.Config{
+		Name: "wan", OneWayDelay: 0.01, UplinkBps: 8e6, DownlinkBps: 16e6, Serialize: true,
+	})
+	cfg := serverless.LambdaLike()
+	cfg.ColdStart = serverless.ColdStartModel{} // deterministic
+	platform := serverless.NewPlatform(eng, rng.New(2), cfg)
+	return &fixture{eng: eng, dev: dev, path: path, platform: platform}
+}
+
+func (f *fixture) deployAll(t *testing.T, g *callgraph.Graph, a partition.Assignment) map[string]*serverless.Function {
+	t.Helper()
+	fns := make(map[string]*serverless.Function)
+	for i, remote := range a {
+		if !remote {
+			continue
+		}
+		comp := g.Component(callgraph.ComponentID(i))
+		// Size to at least one vCPU and twice the working set, rounded to
+		// the 64 MB ladder.
+		mem := int64(1792 * model.MB)
+		if need := 2 * comp.MemoryBytes; need > mem {
+			step := int64(64 * model.MB)
+			mem = (need + step - 1) / step * step
+		}
+		fn, err := f.platform.Deploy(serverless.FunctionConfig{
+			Name: g.Name() + "-" + comp.Name, MemoryBytes: mem,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fns[comp.Name] = fn
+	}
+	return fns
+}
+
+func run(t *testing.T, f *fixture, g *callgraph.Graph, a partition.Assignment) Result {
+	t.Helper()
+	r, err := New(f.eng, Config{
+		Graph: g, Assignment: a, Device: f.dev, Path: f.path,
+		Functions: f.deployAll(t, g, a),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	r.Run(func(out Result) { res = out })
+	f.eng.Run()
+	return res
+}
+
+func TestAllLocalRunMatchesDeviceTime(t *testing.T) {
+	f := newFixture(t)
+	g := pipelineGraph()
+	res := run(t, f, g, partition.AllLocal(g))
+	if res.Failed {
+		t.Fatal("run failed")
+	}
+	// 0.1 + 2 + 4 seconds of compute, no transfers.
+	want := 6.1
+	if math.Abs(float64(res.Duration())-want) > 1e-9 {
+		t.Fatalf("Duration = %v, want %v", res.Duration(), want)
+	}
+	if res.CutEdges != 0 || res.BytesMoved != 0 || res.CostUSD != 0 {
+		t.Fatalf("all-local run moved data or money: %+v", res)
+	}
+	if len(res.Components) != 3 {
+		t.Fatalf("%d component results", len(res.Components))
+	}
+	// Compute energy: 6.1 s × 2 W = 12.2 J.
+	if math.Abs(res.EnergyMilliJ-12200) > 1 {
+		t.Fatalf("EnergyMilliJ = %g", res.EnergyMilliJ)
+	}
+}
+
+func TestPartitionedRunPaysCutTransfersAndBills(t *testing.T) {
+	f := newFixture(t)
+	g := pipelineGraph()
+	a := partition.Assignment{false, true, true} // offload a and b
+	res := run(t, f, g, a)
+	if res.Failed {
+		t.Fatal("run failed")
+	}
+	// Cut edges: ui→a (up, 1 MB) and b→ui (down, 64 KB). a→b stays in the
+	// cloud and is free.
+	if res.CutEdges != 2 {
+		t.Fatalf("CutEdges = %d, want 2", res.CutEdges)
+	}
+	if res.BytesMoved != 1<<20+1<<16 {
+		t.Fatalf("BytesMoved = %d", res.BytesMoved)
+	}
+	if res.CostUSD <= 0 {
+		t.Fatal("remote components billed nothing")
+	}
+	// Remote compute: (2e9+4e9)/2.5e9 ≈ 2.4 s at ~1 vCPU; local ui 0.1 s;
+	// uplink ~1.06 s; downlink ~0.04 s. Far faster than 6.1 s local.
+	if res.Duration() >= 6.1 {
+		t.Fatalf("partitioned run (%v) not faster than local", res.Duration())
+	}
+	// Energy is radio-only beyond the ui's 0.2 J.
+	if res.EnergyMilliJ >= 12200 {
+		t.Fatalf("partitioned energy %g not below local", res.EnergyMilliJ)
+	}
+}
+
+func TestRemoteToRemoteEdgeIsFree(t *testing.T) {
+	f := newFixture(t)
+	g := pipelineGraph()
+	a := partition.Assignment{false, true, true}
+	res := run(t, f, g, a)
+	for _, cr := range res.Components {
+		if cr.Name == "b" && cr.TransferS != 0 {
+			t.Fatalf("intra-cloud edge a→b paid a device transfer: %g s", cr.TransferS)
+		}
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	f := newFixture(t)
+	g := pipelineGraph()
+	if _, err := New(nil, Config{Graph: g}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := New(f.eng, Config{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := New(f.eng, Config{Graph: g, Assignment: partition.Assignment{true}, Device: f.dev}); err == nil {
+		t.Error("wrong-arity assignment accepted")
+	}
+	// Remote component without a deployed function.
+	a := partition.Assignment{false, true, false}
+	if _, err := New(f.eng, Config{Graph: g, Assignment: a, Device: f.dev, Path: f.path,
+		Functions: map[string]*serverless.Function{}}); err == nil {
+		t.Error("missing function accepted")
+	}
+	// Cut edges without a path.
+	fns := f.deployAll(t, g, a)
+	if _, err := New(f.eng, Config{Graph: g, Assignment: a, Device: f.dev, Functions: fns}); err == nil {
+		t.Error("cut edges without path accepted")
+	}
+}
+
+func TestRunFailurePropagates(t *testing.T) {
+	f := newFixture(t)
+	a := partition.Assignment{false, true, false}
+	// Deploy an undersized function so the remote component OOMs.
+	fn, err := f.platform.Deploy(serverless.FunctionConfig{
+		Name: "tiny", MemoryBytes: 128 * model.MB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the remote component a working set the tiny function can't hold.
+	g2 := callgraph.New("pipe")
+	g2.MustAddComponent(callgraph.Component{Name: "ui", Cycles: 1e8, Pinned: true})
+	g2.MustAddComponent(callgraph.Component{Name: "a", Cycles: 2e9, MemoryBytes: 1 << 30})
+	g2.MustAddComponent(callgraph.Component{Name: "b", Cycles: 4e9})
+	g2.MustAddEdge(callgraph.Edge{From: 0, To: 1, Bytes: 1 << 20})
+	g2.MustAddEdge(callgraph.Edge{From: 1, To: 2, Bytes: 1 << 18})
+
+	r, err := New(f.eng, Config{
+		Graph: g2, Assignment: a, Device: f.dev, Path: f.path,
+		Functions: map[string]*serverless.Function{"a": fn},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	r.Run(func(out Result) { res = out })
+	f.eng.Run()
+	if !res.Failed {
+		t.Fatal("OOM did not fail the run")
+	}
+	// The run stops at the failing component: b never executes.
+	for _, cr := range res.Components {
+		if cr.Name == "b" {
+			t.Fatal("component after the failure still executed")
+		}
+	}
+}
+
+func TestExecutionOrderTopological(t *testing.T) {
+	g := callgraph.New("dag")
+	g.MustAddComponent(callgraph.Component{Name: "root", Cycles: 1, Pinned: true})
+	g.MustAddComponent(callgraph.Component{Name: "x", Cycles: 1})
+	g.MustAddComponent(callgraph.Component{Name: "y", Cycles: 1})
+	g.MustAddComponent(callgraph.Component{Name: "z", Cycles: 1})
+	g.MustAddEdge(callgraph.Edge{From: 0, To: 2, Bytes: 1}) // root→y
+	g.MustAddEdge(callgraph.Edge{From: 2, To: 1, Bytes: 1}) // y→x
+	g.MustAddEdge(callgraph.Edge{From: 1, To: 3, Bytes: 1}) // x→z
+	order := executionOrder(g)
+	pos := map[callgraph.ComponentID]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] > pos[e.To] {
+			t.Fatalf("order violates edge %d→%d: %v", e.From, e.To, order)
+		}
+	}
+}
+
+func TestExecutionOrderWithCycleFallsBack(t *testing.T) {
+	g := pipelineGraph() // has b→ui back edge; ui is on a cycle
+	order := executionOrder(g)
+	if len(order) != 3 {
+		t.Fatalf("order dropped components: %v", order)
+	}
+	seen := map[callgraph.ComponentID]bool{}
+	for _, id := range order {
+		if seen[id] {
+			t.Fatalf("duplicate in order: %v", order)
+		}
+		seen[id] = true
+	}
+}
+
+func TestChainRunOnTemplates(t *testing.T) {
+	// Every built-in template must run under its min-cut partition.
+	for name, g := range callgraph.Templates() {
+		t.Run(name, func(t *testing.T) {
+			f := newFixture(t)
+			m := partition.CostModel{
+				LocalHz: 1e9, RemoteHz: 2.5e9,
+				BandwidthBps: 8e6, RTTSeconds: 0.02,
+				USDPerRemoteSecond: 3e-5,
+				EnergyJPerCycle:    2e-9, RadioJPerByte: 1e-6,
+				LatencyWeight: 0.001, EnergyWeight: 2.3e-5, MoneyWeight: 1,
+			}
+			pr, err := partition.MinCut(g, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := run(t, f, g, pr.Assignment)
+			if res.Failed {
+				t.Fatalf("template run failed: %+v", res)
+			}
+			if len(res.Components) != g.Len() {
+				t.Fatalf("executed %d of %d components", len(res.Components), g.Len())
+			}
+		})
+	}
+}

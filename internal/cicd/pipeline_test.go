@@ -1,0 +1,190 @@
+package cicd
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"offload/internal/sim"
+)
+
+func TestLinearPipelineTiming(t *testing.T) {
+	p := NewPipeline("linear")
+	p.MustAdd(Stage{Name: "a", Execute: RunFor(10, nil)})
+	p.MustAdd(Stage{Name: "b", Needs: []string{"a"}, Execute: RunFor(20, nil)})
+	p.MustAdd(Stage{Name: "c", Needs: []string{"b"}, Execute: RunFor(5, nil)})
+	eng := sim.NewEngine()
+	var rep Report
+	p.Run(eng, NewContext(), func(r Report) { rep = r })
+	eng.Run()
+	if !rep.Succeeded() {
+		t.Fatalf("pipeline failed: %+v", rep.Results)
+	}
+	if math.Abs(float64(rep.Duration())-35) > 1e-9 {
+		t.Fatalf("Duration = %v, want 35", rep.Duration())
+	}
+	b, _ := rep.Stage("b")
+	if b.Start != 10 || b.End != 30 {
+		t.Fatalf("stage b at [%v, %v], want [10, 30]", b.Start, b.End)
+	}
+}
+
+func TestParallelStagesOverlap(t *testing.T) {
+	p := NewPipeline("diamond")
+	p.MustAdd(Stage{Name: "root", Execute: RunFor(5, nil)})
+	p.MustAdd(Stage{Name: "left", Needs: []string{"root"}, Execute: RunFor(30, nil)})
+	p.MustAdd(Stage{Name: "right", Needs: []string{"root"}, Execute: RunFor(10, nil)})
+	p.MustAdd(Stage{Name: "join", Needs: []string{"left", "right"}, Execute: RunFor(5, nil)})
+	eng := sim.NewEngine()
+	var rep Report
+	p.Run(eng, NewContext(), func(r Report) { rep = r })
+	eng.Run()
+	// 5 + max(30, 10) + 5 = 40, not 50.
+	if math.Abs(float64(rep.Duration())-40) > 1e-9 {
+		t.Fatalf("Duration = %v, want 40 (parallel branches)", rep.Duration())
+	}
+	if !rep.Succeeded() {
+		t.Fatal("diamond failed")
+	}
+}
+
+func TestFailureSkipsDownstream(t *testing.T) {
+	boom := errors.New("boom")
+	p := NewPipeline("failing")
+	p.MustAdd(Stage{Name: "ok", Execute: RunFor(1, nil)})
+	p.MustAdd(Stage{Name: "bad", Needs: []string{"ok"}, Execute: RunFor(1, func(*Exec) error { return boom })})
+	p.MustAdd(Stage{Name: "after", Needs: []string{"bad"}, Execute: RunFor(1, nil)})
+	p.MustAdd(Stage{Name: "sibling", Needs: []string{"ok"}, Execute: RunFor(1, nil)})
+	eng := sim.NewEngine()
+	var rep Report
+	p.Run(eng, NewContext(), func(r Report) { rep = r })
+	eng.Run()
+	if rep.Succeeded() {
+		t.Fatal("failed pipeline reported success")
+	}
+	bad, _ := rep.Stage("bad")
+	if !errors.Is(bad.Err, boom) {
+		t.Fatalf("bad.Err = %v", bad.Err)
+	}
+	after, _ := rep.Stage("after")
+	if !after.Skipped {
+		t.Fatal("downstream of failure not skipped")
+	}
+	sibling, _ := rep.Stage("sibling")
+	if sibling.Skipped || sibling.Err != nil {
+		t.Fatal("unrelated sibling was affected by the failure")
+	}
+}
+
+func TestMultiDependencySkipOnlyOnce(t *testing.T) {
+	boom := errors.New("boom")
+	p := NewPipeline("multi")
+	p.MustAdd(Stage{Name: "f1", Execute: RunFor(1, func(*Exec) error { return boom })})
+	p.MustAdd(Stage{Name: "f2", Execute: RunFor(2, nil)})
+	p.MustAdd(Stage{Name: "join", Needs: []string{"f1", "f2"}, Execute: RunFor(1, nil)})
+	eng := sim.NewEngine()
+	var rep Report
+	p.Run(eng, NewContext(), func(r Report) { rep = r })
+	eng.Run()
+	join, _ := rep.Stage("join")
+	if !join.Skipped {
+		t.Fatal("join ran despite a failed dependency")
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("got %d results", len(rep.Results))
+	}
+}
+
+func TestDoneInvokedExactlyOnceWhenTailIsSkipped(t *testing.T) {
+	// A failure whose skip cascade drains the pipeline used to call done
+	// twice (once from the cascade, once from the failing stage's own
+	// completion path); the report then contained every stage twice.
+	boom := errors.New("boom")
+	p := NewPipeline("tail-skip")
+	p.MustAdd(Stage{Name: "a", Execute: RunFor(1, nil)})
+	p.MustAdd(Stage{Name: "bad", Needs: []string{"a"}, Execute: RunFor(1, func(*Exec) error { return boom })})
+	p.MustAdd(Stage{Name: "tail", Needs: []string{"bad"}, Execute: RunFor(1, nil)})
+	eng := sim.NewEngine()
+	calls := 0
+	var rep Report
+	p.Run(eng, NewContext(), func(r Report) {
+		calls++
+		rep = r
+	})
+	eng.Run()
+	if calls != 1 {
+		t.Fatalf("done invoked %d times", calls)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("report has %d stage results, want 3", len(rep.Results))
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	p := NewPipeline("v")
+	if err := p.Add(Stage{Name: "", Execute: RunFor(1, nil)}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := p.Add(Stage{Name: "x"}); err == nil {
+		t.Error("nil Execute accepted")
+	}
+	if err := p.Add(Stage{Name: "y", Needs: []string{"nope"}, Execute: RunFor(1, nil)}); err == nil {
+		t.Error("unknown dependency accepted")
+	}
+	if err := p.Add(Stage{Name: "a", Execute: RunFor(1, nil)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(Stage{Name: "a", Execute: RunFor(1, nil)}); err == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestEmptyPipelineCompletes(t *testing.T) {
+	p := NewPipeline("empty")
+	eng := sim.NewEngine()
+	ran := false
+	p.Run(eng, NewContext(), func(r Report) {
+		ran = true
+		if !r.Succeeded() {
+			t.Error("empty pipeline failed")
+		}
+	})
+	eng.Run()
+	if !ran {
+		t.Fatal("done never invoked")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	ctx := NewContext()
+	if _, ok := ctx.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+	ctx.Set("k", 42)
+	v, ok := ctx.Get("k")
+	if !ok || v.(int) != 42 {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+}
+
+func TestStageArtifactsFlow(t *testing.T) {
+	p := NewPipeline("artifacts")
+	p.MustAdd(Stage{Name: "produce", Execute: RunFor(1, func(px *Exec) error {
+		px.Ctx.Set("artifact", "hello")
+		return nil
+	})})
+	p.MustAdd(Stage{Name: "consume", Needs: []string{"produce"}, Execute: RunFor(1, func(px *Exec) error {
+		v, ok := px.Ctx.Get("artifact")
+		if !ok || v.(string) != "hello" {
+			return errors.New("artifact missing")
+		}
+		return nil
+	})})
+	eng := sim.NewEngine()
+	var rep Report
+	p.Run(eng, NewContext(), func(r Report) { rep = r })
+	eng.Run()
+	if !rep.Succeeded() {
+		t.Fatalf("artifact flow failed: %+v", rep.Results)
+	}
+}

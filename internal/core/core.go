@@ -1,0 +1,332 @@
+// Package core is the framework façade: it assembles the substrates
+// (device, networks, edge, serverless, VMs) into a live System driven by a
+// placement policy, and provides the offline planning journey — profile →
+// partition → allocate → manifest — that cmd/offctl and the CI/CD stages
+// expose to developers.
+package core
+
+import (
+	"fmt"
+
+	"offload/internal/cloudvm"
+	"offload/internal/device"
+	"offload/internal/edge"
+	"offload/internal/model"
+	"offload/internal/network"
+	"offload/internal/rng"
+	"offload/internal/sched"
+	"offload/internal/serverless"
+	"offload/internal/sim"
+	"offload/internal/trace"
+	"offload/internal/workload"
+)
+
+// PolicyName selects a placement policy.
+type PolicyName string
+
+// The available policies.
+const (
+	PolicyLocalOnly     PolicyName = "local-only"
+	PolicyEdgeAll       PolicyName = "edge-all"
+	PolicyCloudAll      PolicyName = "cloud-all"
+	PolicyVMAll         PolicyName = "vm-all"
+	PolicyRandom        PolicyName = "random"
+	PolicyThreshold     PolicyName = "threshold"
+	PolicyDeadlineAware PolicyName = "deadline-aware"
+)
+
+// DefaultThresholdCycles is the offloading threshold the "threshold"
+// policy uses: 5 Gcycles, a couple of seconds of mid-range-phone work.
+const DefaultThresholdCycles = 5e9
+
+// AllPolicies lists the policy names in canonical order.
+func AllPolicies() []PolicyName {
+	return []PolicyName{
+		PolicyLocalOnly, PolicyEdgeAll, PolicyCloudAll,
+		PolicyVMAll, PolicyRandom, PolicyThreshold, PolicyDeadlineAware,
+	}
+}
+
+// BatchConfig enables delay-tolerant batching of serverless tasks.
+type BatchConfig struct {
+	Size    int
+	MaxWait sim.Duration
+}
+
+// Config assembles a complete offloading environment. Nil substrate
+// configs leave that substrate out; Device and at least one remote
+// substrate are required for offloading policies to differ from local.
+type Config struct {
+	Seed uint64
+
+	Device device.Config
+
+	Edge     *edge.Config
+	EdgePath *network.Config
+
+	Serverless *serverless.Config
+	CloudPath  *network.Config
+
+	VM *cloudvm.Config
+
+	Policy PolicyName
+
+	// PredictionNoise perturbs demand predictions (E10 knob). Zero gives
+	// the adaptive per-app predictor exact feedback.
+	PredictionNoise float64
+
+	// ArrivalRateHint feeds the function pool's cold-start estimate.
+	ArrivalRateHint float64
+
+	// RedeployTolerance makes the function pool re-size a deployed
+	// function when predicted demand drifts by more than this factor.
+	// Zero sizes each function once, from the first prediction.
+	RedeployTolerance float64
+
+	// ProvisionedConcurrency pre-warms this many environments per deployed
+	// function, trading a capacity fee for zero cold starts.
+	ProvisionedConcurrency int
+
+	// Batch, when non-nil, wraps the scheduler in a Batcher.
+	Batch *BatchConfig
+
+	// OffPeakShift delays slack-rich serverless tasks into the platform's
+	// off-peak pricing window (requires a price schedule on the platform).
+	// Mutually exclusive with Batch.
+	OffPeakShift bool
+
+	// Retries enables transparent retries of transient infrastructure
+	// failures: total attempts per task (values <= 1 disable retries),
+	// with exponential backoff starting at RetryBackoff.
+	Retries      int
+	RetryBackoff sim.Duration
+
+	// LocalDVFSMinScale enables per-task DVFS for local executions: tasks
+	// run at the slowest frequency (floored here, in (0,1]) that still
+	// meets their deadline. Zero disables.
+	LocalDVFSMinScale float64
+
+	// DailyBudgetUSD caps serverless spending per virtual day: once spent,
+	// serverless-bound tasks fall back to free capacity. Zero disables.
+	DailyBudgetUSD float64
+}
+
+// DefaultConfig is a smartphone on WiFi/LAN with every substrate present
+// and the deadline-aware policy: the configuration the examples use.
+func DefaultConfig() Config {
+	edgeCfg := edge.SmallSite()
+	edgePath := network.LANEdge()
+	slCfg := serverless.LambdaLike()
+	cloudPath := network.WiFiCloud()
+	vmCfg := cloudvm.C5Large()
+	return Config{
+		Seed:       1,
+		Device:     device.Smartphone(),
+		Edge:       &edgeCfg,
+		EdgePath:   &edgePath,
+		Serverless: &slCfg,
+		CloudPath:  &cloudPath,
+		VM:         &vmCfg,
+		Policy:     PolicyDeadlineAware,
+	}
+}
+
+// System is a live assembled environment.
+type System struct {
+	Eng *sim.Engine
+	Src *rng.Source
+	Env *sched.Env
+
+	Scheduler *sched.Scheduler
+	Batcher   *sched.Batcher        // nil unless batching is configured
+	Shifter   *sched.OffPeakShifter // nil unless off-peak shifting is on
+	Recorder  *trace.Recorder
+
+	cfg Config
+}
+
+// NewSystem builds a System from the configuration.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Device.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	src := rng.New(cfg.Seed)
+
+	env := &sched.Env{
+		Eng:    eng,
+		Device: device.New(eng, cfg.Device),
+	}
+	if cfg.Edge != nil {
+		if cfg.EdgePath == nil {
+			return nil, fmt.Errorf("core: edge configured without an edge path")
+		}
+		env.Edge = edge.New(eng, *cfg.Edge)
+		env.EdgePath = network.New(eng, src.Split(), *cfg.EdgePath)
+	}
+	if cfg.Serverless != nil {
+		if cfg.CloudPath == nil {
+			return nil, fmt.Errorf("core: serverless configured without a cloud path")
+		}
+		platform := serverless.NewPlatform(eng, src.Split(), *cfg.Serverless)
+		pool := sched.NewFunctionPool(platform)
+		pool.ArrivalRateHint = cfg.ArrivalRateHint
+		pool.RedeployTolerance = cfg.RedeployTolerance
+		pool.ProvisionedConcurrency = cfg.ProvisionedConcurrency
+		env.Functions = pool
+		env.CloudPath = network.New(eng, src.Split(), *cfg.CloudPath)
+	}
+	if cfg.VM != nil {
+		if cfg.CloudPath == nil {
+			return nil, fmt.Errorf("core: VM configured without a cloud path")
+		}
+		env.VM = cloudvm.New(eng, *cfg.VM)
+		if env.CloudPath == nil {
+			env.CloudPath = network.New(eng, src.Split(), *cfg.CloudPath)
+		}
+	}
+
+	policy, err := buildPolicy(cfg.Policy, src)
+	if err != nil {
+		return nil, err
+	}
+	var budget *sched.Budget
+	if cfg.DailyBudgetUSD > 0 {
+		budget, err = sched.NewBudget(eng, cfg.DailyBudgetUSD)
+		if err != nil {
+			return nil, err
+		}
+		policy = &sched.BudgetedPolicy{Inner: policy, Budget: budget}
+	}
+	var pred sched.Predictor = sched.NewPerApp(0.3)
+	if cfg.PredictionNoise > 0 {
+		pred = sched.NewNoisy(pred, src.Split(), cfg.PredictionNoise)
+	}
+
+	rec := &trace.Recorder{}
+	recHook := rec.Hook()
+	outcomeHook := recHook
+	if budget != nil {
+		charge := budget.Hook()
+		outcomeHook = func(o model.Outcome) {
+			charge(o)
+			recHook(o)
+		}
+	}
+	opts := []sched.Option{sched.WithOutcomeHook(outcomeHook)}
+	if cfg.Retries > 1 {
+		backoff := cfg.RetryBackoff
+		if backoff <= 0 {
+			backoff = 1
+		}
+		opts = append(opts, sched.WithRetries(sched.RetryPolicy{
+			MaxAttempts: cfg.Retries,
+			Backoff:     backoff,
+		}))
+	}
+	if cfg.LocalDVFSMinScale > 0 {
+		opts = append(opts, sched.WithLocalDVFS(cfg.LocalDVFSMinScale))
+	}
+	s, err := sched.New(env, policy, pred, opts...)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{Eng: eng, Src: src, Env: env, Scheduler: s, Recorder: rec, cfg: cfg}
+	if cfg.Batch != nil && cfg.OffPeakShift {
+		return nil, fmt.Errorf("core: Batch and OffPeakShift are mutually exclusive")
+	}
+	if cfg.Batch != nil {
+		b, err := sched.NewBatcher(s, cfg.Batch.Size, cfg.Batch.MaxWait)
+		if err != nil {
+			return nil, err
+		}
+		sys.Batcher = b
+	}
+	if cfg.OffPeakShift {
+		sh, err := sched.NewOffPeakShifter(s)
+		if err != nil {
+			return nil, err
+		}
+		sys.Shifter = sh
+	}
+	return sys, nil
+}
+
+func buildPolicy(name PolicyName, src *rng.Source) (sched.Policy, error) {
+	switch name {
+	case PolicyLocalOnly, "":
+		return sched.LocalOnly{}, nil
+	case PolicyEdgeAll:
+		return sched.EdgeAll{}, nil
+	case PolicyCloudAll:
+		return sched.CloudAll{}, nil
+	case PolicyVMAll:
+		return sched.VMAll{}, nil
+	case PolicyRandom:
+		return &sched.Random{Src: src.Split()}, nil
+	case PolicyThreshold:
+		return &sched.Threshold{Cycles: DefaultThresholdCycles}, nil
+	case PolicyDeadlineAware:
+		return sched.NewDeadlineAware(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown policy %q", name)
+	}
+}
+
+// Submit routes one task through the configured scheduler (or its
+// batching / off-peak-shifting wrapper).
+func (s *System) Submit(task *model.Task) {
+	switch {
+	case s.Batcher != nil:
+		s.Batcher.Submit(task)
+	case s.Shifter != nil:
+		s.Shifter.Submit(task)
+	default:
+		s.Scheduler.Submit(task)
+	}
+}
+
+// SubmitStream schedules count arrivals from the generator.
+func (s *System) SubmitStream(arrivals workload.Arrivals, gen *workload.Generator, count int) {
+	workload.Stream(s.Eng, arrivals, gen, count, s.Submit)
+}
+
+// Run drives the simulation until no work remains, flushing any pending
+// batches first.
+func (s *System) Run() {
+	if s.Batcher != nil {
+		// Flush at the point all arrivals have been injected: run the
+		// event queue, flush leftovers, and drain again.
+		s.Eng.Run()
+		s.Batcher.Flush()
+	}
+	s.Eng.Run()
+}
+
+// Stats returns the scheduler's aggregate statistics.
+func (s *System) Stats() *sched.Stats { return s.Scheduler.Stats() }
+
+// Platform returns the serverless platform, or nil.
+func (s *System) Platform() *serverless.Platform {
+	if s.Env.Functions == nil {
+		return nil
+	}
+	return s.Env.Functions.Platform()
+}
+
+// InfrastructureCostUSD returns money that accrued outside per-task bills:
+// edge provisioning, VM instance-hours, and serverless provisioned
+// concurrency capacity fees up to the current virtual time.
+func (s *System) InfrastructureCostUSD() float64 {
+	total := 0.0
+	if s.Env.Edge != nil {
+		total += s.Env.Edge.ProvisionedCostUSD()
+	}
+	if s.Env.VM != nil {
+		total += s.Env.VM.AccruedCostUSD()
+	}
+	if p := s.Platform(); p != nil {
+		total += p.ProvisionedCostUSD()
+	}
+	return total
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"offload/internal/callgraph"
+	"offload/internal/chain"
+	"offload/internal/device"
+	"offload/internal/network"
+	"offload/internal/rng"
+	"offload/internal/serverless"
+	"offload/internal/sim"
+)
+
+// SimulatePlan runs the full offline-to-runtime journey: plan the
+// application (profile → partition → allocate), deploy the manifest onto
+// a fresh simulated platform, and execute runs application runs through
+// the chain runner. It returns the plan and the per-run results.
+func SimulatePlan(g *callgraph.Graph, opts PlanOptions, runs int) (*Plan, []chain.Result, error) {
+	if runs <= 0 {
+		runs = 1
+	}
+	if opts.Device.CPUHz == 0 {
+		opts.Device = device.Smartphone()
+	}
+	if opts.Serverless.BaselineHz == 0 {
+		opts.Serverless = serverless.LambdaLike()
+	}
+	if opts.CloudPath.UplinkBps == 0 {
+		opts.CloudPath = network.WiFiCloud()
+	}
+	plan, err := PlanApp(g, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	eng := sim.NewEngine()
+	dev := device.New(eng, opts.Device)
+	path := network.New(eng, rng.New(opts.Seed+5), opts.CloudPath)
+	platform := serverless.NewPlatform(eng, rng.New(opts.Seed+6), opts.Serverless)
+	fns := make(map[string]*serverless.Function)
+	for _, spec := range plan.Manifest.Functions {
+		fn, err := platform.Deploy(serverless.FunctionConfig{
+			Name: spec.Name, MemoryBytes: spec.MemoryBytes,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		fns[spec.Component] = fn
+	}
+	runner, err := chain.New(eng, chain.Config{
+		Graph:      g,
+		Assignment: plan.Partition.Assignment,
+		Device:     dev,
+		Path:       path,
+		Functions:  fns,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	results := make([]chain.Result, 0, runs)
+	var runOnce func(i int)
+	runOnce = func(i int) {
+		if i >= runs {
+			return
+		}
+		runner.Run(func(res chain.Result) {
+			results = append(results, res)
+			runOnce(i + 1)
+		})
+	}
+	runOnce(0)
+	eng.Run()
+	return plan, results, nil
+}

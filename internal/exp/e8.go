@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+
+	"offload/internal/callgraph"
+	"offload/internal/cicd"
+	"offload/internal/core"
+	"offload/internal/device"
+	"offload/internal/metrics"
+	"offload/internal/network"
+	"offload/internal/profile"
+	"offload/internal/rng"
+	"offload/internal/serverless"
+	"offload/internal/sim"
+)
+
+// E8Pipeline reproduces the CI/CD integration analysis (Table 3):
+// per-stage durations of a vanilla deploy pipeline versus the
+// offload-integrated pipeline on three application templates, plus a
+// regression round showing SLO-triggered rollback.
+//
+// Expected shape: the offload stages (profile, partition, per-function
+// deploy, canary) add minutes of pipeline time but profiling overlaps the
+// existing unit-test stage, so end-to-end overhead stays well below the
+// stage-sum; the injected regression fails the canary, the deployment
+// rolls back, and release is skipped.
+func E8Pipeline(s Scale) []*metrics.Table {
+	apps := []string{"report-gen", "ml-batch", "sci-batch"}
+
+	stageTbl := metrics.NewTable(
+		"E8 (Tab 3a): pipeline stage durations (vanilla vs offload-integrated)",
+		"app", "pipeline", "stage", "start_s", "dur_s")
+	totalTbl := metrics.NewTable(
+		"E8 (Tab 3b): end-to-end pipeline time and overhead",
+		"app", "vanilla_s", "offload_s", "overhead")
+
+	for _, app := range apps {
+		g := callgraph.Templates()[app]
+		vanRep := runPipeline(s, &cicd.Build{App: g})
+		offRep := runPipeline(s, newE8Build(s, g, 0, nil))
+		for _, res := range vanRep.Results {
+			stageTbl.AddRow(app, "vanilla", res.Name,
+				seconds(float64(res.Start)), seconds(float64(res.Duration())))
+		}
+		for _, res := range offRep.Results {
+			stageTbl.AddRow(app, "offload", res.Name,
+				seconds(float64(res.Start)), seconds(float64(res.Duration())))
+		}
+		overhead := float64(offRep.Duration())/float64(vanRep.Duration()) - 1
+		totalTbl.AddRow(app,
+			seconds(float64(vanRep.Duration())),
+			seconds(float64(offRep.Duration())),
+			pct(overhead))
+	}
+
+	// Regression round: a healthy deploy establishes the manifest, then a
+	// 5x-slower build goes through the same pipeline.
+	rbTbl := metrics.NewTable(
+		"E8 (Tab 3c): canary verdict and rollback on an injected regression",
+		"round", "canary_mean_s", "canary_slo_s", "passed", "rolled_back", "released")
+	g := callgraph.Templates()["report-gen"]
+	healthy := newE8Build(s, g, 0, nil)
+	healthyRep, healthyCtx := runPipelineCtx(s, healthy)
+	addRollbackRow(rbTbl, "healthy", healthyRep, healthyCtx)
+
+	var prev *cicd.Manifest
+	if mv, ok := healthyCtx.Get(cicd.KeyManifest); ok {
+		prev = mv.(*cicd.Manifest)
+	}
+	regressed := newE8Build(s, g, 5, prev)
+	regRep, regCtx := runPipelineCtx(s, regressed)
+	addRollbackRow(rbTbl, "regressed(5x)", regRep, regCtx)
+
+	return []*metrics.Table{stageTbl, totalTbl, rbTbl}
+}
+
+func newE8Build(s Scale, g *callgraph.Graph, regression float64, prev *cicd.Manifest) *cicd.Build {
+	eng := sim.NewEngine()
+	platform := serverless.NewPlatform(eng, rng.New(s.Seed), serverless.LambdaLike())
+	e8Engines[platform] = eng
+	return &cicd.Build{
+		App:              g,
+		Platform:         platform,
+		Meter:            profile.NewMeter(rng.New(s.Seed+1), 0.05),
+		Cost:             core.CostModelFor(device.Smartphone(), serverless.LambdaLike(), serverless.LambdaLike().FullShareBytes, network.WiFiCloud(), core.DefaultWeights()),
+		ProfileRuns:      30,
+		Canary:           cicd.CanarySpec{Invocations: 5, SLOFactor: 2},
+		Previous:         prev,
+		InjectRegression: regression,
+		WithOffload:      true,
+	}
+}
+
+var e8Engines = map[*serverless.Platform]*sim.Engine{}
+
+func runPipeline(s Scale, b *cicd.Build) cicd.Report {
+	rep, _ := runPipelineCtx(s, b)
+	return rep
+}
+
+func runPipelineCtx(s Scale, b *cicd.Build) (cicd.Report, *cicd.Context) {
+	p, err := b.Pipeline()
+	if err != nil {
+		panic(err)
+	}
+	eng := e8Engines[b.Platform]
+	if eng == nil {
+		eng = sim.NewEngine()
+	}
+	ctx := cicd.NewContext()
+	var rep cicd.Report
+	p.Run(eng, ctx, func(r cicd.Report) { rep = r })
+	eng.Run()
+	return rep, ctx
+}
+
+func addRollbackRow(tbl *metrics.Table, round string, rep cicd.Report, ctx *cicd.Context) {
+	var canary cicd.CanaryResult
+	if cv, ok := ctx.Get(cicd.KeyCanary); ok {
+		canary = cv.(cicd.CanaryResult)
+	}
+	rb, _ := rep.Stage("rollback")
+	rolledBack := errors.Is(rb.Err, cicd.ErrRolledBack)
+	release, _ := rep.Stage("release")
+	tbl.AddRow(round,
+		seconds(canary.MeanExecS),
+		seconds(2*canary.ExpectedS),
+		fmt.Sprintf("%v", canary.Passed),
+		fmt.Sprintf("%v", rolledBack),
+		fmt.Sprintf("%v", !release.Skipped && release.Err == nil),
+	)
+}

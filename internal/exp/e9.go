@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"offload/internal/core"
+	"offload/internal/metrics"
+)
+
+// E9Scalability reproduces the fleet-scale analysis (Figure 6): one shared
+// serverless region serving a growing fleet of devices, each with its own
+// radio path and deadline-aware scheduler (core.Fleet). Reported:
+// simulator throughput (events per wall-clock second) and whether per-task
+// quality metrics stay stable as the fleet grows — shared-platform
+// contention (the account concurrency limit) is the thing that could
+// break them.
+//
+// Expected shape: events/second stays within the same order of magnitude
+// across fleet sizes (the kernel is O(log n) per event); cost per task and
+// miss rate stay flat until the fleet saturates the account concurrency
+// limit.
+func E9Scalability(s Scale) []*metrics.Table {
+	tbl := metrics.NewTable(
+		"E9 (Fig 6): fleet scaling on one shared serverless region",
+		"devices", "tasks", "events", "wall_ms", "events_per_s", "mean_s", "task_usd", "miss")
+
+	sizes := []int{1, 10, s.Devices / 5, s.Devices}
+	seen := map[int]bool{}
+	for _, k := range sizes {
+		if k < 1 || seen[k] {
+			continue
+		}
+		seen[k] = true
+		tasksPerDevice := s.Tasks / 4
+		if tasksPerDevice < 5 {
+			tasksPerDevice = 5
+		}
+
+		cfg := core.DefaultConfig()
+		cfg.Seed = s.Seed + uint64(k)*31
+		cfg.Policy = core.PolicyDeadlineAware
+		cfg.Edge, cfg.EdgePath, cfg.VM = nil, nil, nil
+		cfg.ArrivalRateHint = e1Rate
+		fleet, err := core.NewFleet(cfg, k)
+		if err != nil {
+			panic(err)
+		}
+		if err := fleet.SubmitStreams(e1Rate, tasksPerDevice); err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		fleet.Run()
+		wall := time.Since(start)
+
+		st := fleet.Stats()
+		events := fleet.Eng.Fired()
+		eps := 0.0
+		if wall > 0 {
+			eps = float64(events) / wall.Seconds()
+		}
+		costPerTask := 0.0
+		if st.Completed > 0 {
+			costPerTask = st.CostUSD / float64(st.Completed)
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%d", st.Completed+st.Failed),
+			fmt.Sprintf("%d", events),
+			fmt.Sprintf("%.1f", float64(wall.Milliseconds())),
+			fmt.Sprintf("%.3g", eps),
+			seconds(st.MeanCompletion),
+			usd(costPerTask),
+			pct(st.MissRate()),
+		)
+	}
+	return []*metrics.Table{tbl}
+}

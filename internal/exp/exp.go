@@ -1,0 +1,81 @@
+// Package exp implements the evaluation suite E1–E15 defined in DESIGN.md.
+// The published paper is a doctoral-symposium abstract with no tables or
+// figures, so these experiments ARE the reproduction target: each one
+// exercises a specific claim of the abstract, and EXPERIMENTS.md records
+// the expected shape against what this code measures.
+//
+// Every experiment is a pure function from a Scale (how much work to do)
+// to one or more metrics.Tables, so cmd/offbench, bench_test.go and the
+// unit tests all share one implementation.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"offload/internal/metrics"
+)
+
+// Scale controls how much work an experiment does. Quick keeps unit tests
+// and smoke runs fast; Full is what offbench and the recorded
+// EXPERIMENTS.md numbers use.
+type Scale struct {
+	Tasks       int    // tasks per cell
+	RandomSeeds int    // replications / random instances
+	Devices     int    // E9 fleet bound
+	Seed        uint64 // base RNG seed
+}
+
+// Quick is the CI-friendly scale.
+func Quick() Scale {
+	return Scale{Tasks: 40, RandomSeeds: 3, Devices: 50, Seed: 1}
+}
+
+// Full is the scale the recorded results use.
+func Full() Scale {
+	return Scale{Tasks: 400, RandomSeeds: 10, Devices: 500, Seed: 1}
+}
+
+// Experiment is one runnable entry of the suite.
+type Experiment struct {
+	ID    string
+	Claim string
+	Run   func(Scale) []*metrics.Table
+}
+
+// Registry returns the full suite in canonical order.
+func Registry() []Experiment {
+	return []Experiment{
+		{ID: "E1", Claim: "cloud serverless suffices for non-time-critical workloads", Run: E1Placement},
+		{ID: "E2", Claim: "serverless resource allocation finds the cost-optimal memory", Run: E2MemorySweep},
+		{ID: "E3", Claim: "min-cut code partitioning is optimal and cheap", Run: E3Partition},
+		{ID: "E4", Claim: "cold starts are managed by keep-alive awareness and batching", Run: E4ColdStart},
+		{ID: "E5", Claim: "offloading extends device battery life", Run: E5Energy},
+		{ID: "E6", Claim: "with slack, edge's latency advantage stops mattering", Run: E6DeadlineSlack},
+		{ID: "E7", Claim: "serverless beats provisioned infrastructure at low utilisation", Run: E7CostCrossover},
+		{ID: "E8", Claim: "offloading integrates into CI/CD with modest overhead", Run: E8Pipeline},
+		{ID: "E9", Claim: "the framework scales to fleets of devices", Run: E9Scalability},
+		{ID: "E10", Claim: "allocation degrades gracefully with demand-prediction error", Run: E10PredictionError},
+		{ID: "E11", Claim: "delay tolerance converts into money under diurnal pricing", Run: E11OffPeak},
+		{ID: "E12", Claim: "transient infrastructure failures are absorbed by retries", Run: E12Failures},
+		{ID: "E13", Claim: "DVFS narrows but does not close the gap to offloading", Run: E13DVFS},
+		{ID: "E14", Claim: "serverless elasticity absorbs bursts fixed capacity cannot", Run: E14Bursts},
+		{ID: "E15", Claim: "deployment granularity is an operational choice, not a cost cliff", Run: E15Granularity},
+		{ID: "E16", Claim: "resource allocation must be provider-aware (billing granularity)", Run: E16Providers},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have %v)", id, ids)
+}

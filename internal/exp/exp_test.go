@@ -1,0 +1,549 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"offload/internal/metrics"
+)
+
+// rows parses a table's CSV back into cells for shape assertions.
+func rows(t *testing.T, tbl *metrics.Table) (header []string, data [][]string) {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(tbl.CSV()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("table %q has no data rows", tbl.Title())
+	}
+	header = strings.Split(lines[0], ",")
+	for _, line := range lines[1:] {
+		data = append(data, strings.Split(line, ","))
+	}
+	return header, data
+}
+
+// col returns the index of a named column.
+func col(t *testing.T, header []string, name string) int {
+	t.Helper()
+	for i, h := range header {
+		if h == name {
+			return i
+		}
+	}
+	t.Fatalf("no column %q in %v", name, header)
+	return -1
+}
+
+// num parses a cell that may carry $, %, s, J or x suffixes.
+func num(t *testing.T, cell string) float64 {
+	t.Helper()
+	c := strings.TrimSpace(cell)
+	c = strings.TrimPrefix(c, "$")
+	c = strings.TrimSuffix(c, "%")
+	c = strings.TrimSuffix(c, "x")
+	c = strings.TrimSuffix(c, "s")
+	c = strings.TrimSuffix(c, "mJ")
+	c = strings.TrimSuffix(c, "J")
+	v, err := strconv.ParseFloat(c, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", cell, err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, e := range reg {
+		if e.ID == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment %s", e.ID)
+		}
+		seen[e.ID] = true
+		if _, err := ByID(e.ID); err != nil {
+			t.Errorf("ByID(%s): %v", e.ID, err)
+		}
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+func TestE1Shape(t *testing.T) {
+	tables := E1Placement(Quick())
+	header, data := rows(t, tables[0])
+	if len(data) != 25 { // 5 apps × 5 policies
+		t.Fatalf("E1 has %d rows, want 25", len(data))
+	}
+	app := col(t, header, "app")
+	policy := col(t, header, "policy")
+	mean := col(t, header, "mean_s")
+	taskUSD := col(t, header, "task_usd")
+	infra := col(t, header, "infra_usd")
+	energy := col(t, header, "task_mJ")
+
+	byKey := map[string][]string{}
+	for _, r := range data {
+		byKey[r[app]+"/"+r[policy]] = r
+	}
+	for _, a := range []string{"sci-batch", "report-gen", "ml-batch"} {
+		local := byKey[a+"/local-only"]
+		cloud := byKey[a+"/cloud-all"]
+		edge := byKey[a+"/edge-all"]
+		aware := byKey[a+"/deadline-aware"]
+		// The thesis: cloud offloading beats local on completion time for
+		// compute-heavy apps, at micro-dollar cost and far less energy.
+		if num(t, cloud[mean]) >= num(t, local[mean]) {
+			t.Errorf("%s: cloud (%s) not faster than local (%s)", a, cloud[mean], local[mean])
+		}
+		if jEnergy(t, cloud[energy]) >= jEnergy(t, local[energy]) {
+			t.Errorf("%s: cloud energy not below local", a)
+		}
+		// Local pays no money; edge pays no marginal money but carries the
+		// infrastructure column; cloud carries no infrastructure.
+		if num(t, local[taskUSD]) != 0 || num(t, local[infra]) != 0 {
+			t.Errorf("%s: local-only costs money", a)
+		}
+		if num(t, edge[infra]) <= 0 {
+			t.Errorf("%s: edge has no infrastructure cost", a)
+		}
+		if num(t, cloud[infra]) != 0 {
+			t.Errorf("%s: cloud-all charged infrastructure", a)
+		}
+		if num(t, aware[infra]) != 0 {
+			t.Errorf("%s: deadline-aware charged infrastructure", a)
+		}
+	}
+}
+
+// jEnergy normalises the mJ/J formatting to joules.
+func jEnergy(t *testing.T, cell string) float64 {
+	t.Helper()
+	if strings.HasSuffix(cell, "mJ") {
+		return num(t, cell) / 1000
+	}
+	return num(t, cell)
+}
+
+func TestE2Shape(t *testing.T) {
+	tables := E2MemorySweep(Quick())
+	_, curve := rows(t, tables[0])
+	if len(curve) < 20 {
+		t.Fatalf("E2 curve has %d rows", len(curve))
+	}
+	header, summary := rows(t, tables[1])
+	chosenMB := col(t, header, "chosen_mb")
+	optimumMB := col(t, header, "optimum_mb")
+	chosenUSD := col(t, header, "chosen_usd")
+	optimumUSD := col(t, header, "optimum_usd")
+	for _, r := range summary {
+		if r[chosenMB] != r[optimumMB] {
+			t.Errorf("profile %s: allocator picked %s MB, optimum %s MB", r[0], r[chosenMB], r[optimumMB])
+		}
+		if num(t, r[chosenUSD]) > num(t, r[optimumUSD])*1.0001 {
+			t.Errorf("profile %s: chosen cost above optimum", r[0])
+		}
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	tables := E3Partition(Quick())
+	header, data := rows(t, tables[0])
+	gap := col(t, header, "mincut_gap")
+	mc := col(t, header, "min_cut")
+	local := col(t, header, "all_local")
+	remote := col(t, header, "all_remote")
+	greedy := col(t, header, "greedy")
+	for _, r := range data {
+		if num(t, r[gap]) > 0.01 {
+			t.Errorf("graph %s: min-cut gap %s above 0.01%%", r[0], r[gap])
+		}
+		if num(t, r[mc]) > num(t, r[local])+1e-12 || num(t, r[mc]) > num(t, r[remote])+1e-12 {
+			t.Errorf("graph %s: min-cut worse than a trivial assignment", r[0])
+		}
+		if num(t, r[greedy]) > num(t, r[local])+1e-12 {
+			t.Errorf("graph %s: greedy worse than all-local", r[0])
+		}
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	tables := E4ColdStart(Quick())
+	header, data := rows(t, tables[0])
+	rate := col(t, header, "rate_per_s")
+	ka := col(t, header, "keepalive_s")
+	cold := col(t, header, "cold_frac")
+	for _, r := range data {
+		if r[ka] == "0" && num(t, r[cold]) != 100 {
+			t.Errorf("keep-alive 0 with cold fraction %s", r[cold])
+		}
+	}
+	// At a fixed moderate rate, cold fraction must fall with keep-alive.
+	var last float64 = 101
+	for _, r := range data {
+		if r[rate] != "0.02" {
+			continue
+		}
+		c := num(t, r[cold])
+		if c > last+1e-9 {
+			t.Errorf("cold fraction rose with keep-alive at rate 0.02: %v -> %v", last, c)
+		}
+		last = c
+	}
+	// Batching: cold fraction strictly falls as batch size grows.
+	bh, bdata := rows(t, tables[1])
+	bcold := col(t, bh, "cold_frac")
+	prev := 101.0
+	for _, r := range bdata {
+		c := num(t, r[bcold])
+		if c > prev+1e-9 {
+			t.Errorf("batching did not reduce cold starts: %v after %v", c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	tables := E5Energy(Quick())
+	header, data := rows(t, tables[0])
+	policy := col(t, header, "policy")
+	ext := col(t, header, "extension_x")
+	for _, r := range data {
+		e := num(t, r[ext])
+		if r[policy] == "local-only" {
+			if e != 1 {
+				t.Errorf("local extension %g != 1", e)
+			}
+			continue
+		}
+		if e <= 1 {
+			t.Errorf("%s/%s: battery extension %g not above local", r[0], r[policy], e)
+		}
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	tables := E6DeadlineSlack(Quick())
+	header, data := rows(t, tables[0])
+	slack := col(t, header, "slack_x")
+	policy := col(t, header, "policy")
+	miss := col(t, header, "miss")
+	missOf := func(s, p string) float64 {
+		for _, r := range data {
+			if r[slack] == s && r[policy] == p {
+				return num(t, r[miss])
+			}
+		}
+		t.Fatalf("no row %s/%s", s, p)
+		return 0
+	}
+	// At generous slack everything converges to zero misses — the core
+	// non-time-critical claim.
+	for _, p := range []string{"edge-all", "cloud-all", "deadline-aware"} {
+		if m := missOf("1", p); m != 0 {
+			t.Errorf("%s misses %g%% at slack 1", p, m)
+		}
+		if m := missOf("10", p); m != 0 {
+			t.Errorf("%s misses %g%% at slack 10", p, m)
+		}
+	}
+	// At brutal slack everyone misses a lot.
+	if m := missOf("0.0002", "cloud-all"); m < 50 {
+		t.Errorf("cloud-all misses only %g%% at slack 0.0002", m)
+	}
+	// Deadline-aware never does meaningfully worse than cloud-all.
+	for _, s := range []string{"0.01", "0.1", "1", "10"} {
+		if missOf(s, "deadline-aware") > missOf(s, "cloud-all")+10 {
+			t.Errorf("deadline-aware much worse than cloud-all at slack %s", s)
+		}
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	tables := E7CostCrossover(Quick())
+	header, data := rows(t, tables[0])
+	cheapest := col(t, header, "cheapest")
+	// Serverless cheapest at the lowest volume; not at the highest.
+	if data[0][cheapest] != "serverless" {
+		t.Errorf("lowest volume cheapest = %s", data[0][cheapest])
+	}
+	if last := data[len(data)-1][cheapest]; last == "serverless" {
+		t.Error("serverless still cheapest at the highest volume")
+	}
+	// Serverless monthly cost grows with volume.
+	sl := col(t, header, "serverless_usd")
+	prev := -1.0
+	for _, r := range data {
+		v := num(t, r[sl])
+		if v < prev {
+			t.Errorf("serverless monthly cost fell with volume: %v -> %v", prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	tables := E8Pipeline(Quick())
+	_, totals := rows(t, tables[1])
+	header := []string{"app", "vanilla_s", "offload_s", "overhead"}
+	for _, r := range totals {
+		van := num(t, r[1])
+		off := num(t, r[2])
+		if off <= van {
+			t.Errorf("%s: offload pipeline not slower than vanilla", r[0])
+		}
+		if off > van*1.6 {
+			t.Errorf("%s: offload overhead implausible: %v vs %v", r[0], off, van)
+		}
+	}
+	_ = header
+	rh, rbRows := rows(t, tables[2])
+	passed := col(t, rh, "passed")
+	rolled := col(t, rh, "rolled_back")
+	released := col(t, rh, "released")
+	if rbRows[0][passed] != "true" || rbRows[0][rolled] != "false" || rbRows[0][released] != "true" {
+		t.Errorf("healthy round wrong: %v", rbRows[0])
+	}
+	if rbRows[1][passed] != "false" || rbRows[1][rolled] != "true" || rbRows[1][released] != "false" {
+		t.Errorf("regressed round wrong: %v", rbRows[1])
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	tables := E9Scalability(Quick())
+	header, data := rows(t, tables[0])
+	devices := col(t, header, "devices")
+	miss := col(t, header, "miss")
+	if len(data) < 3 {
+		t.Fatalf("E9 has %d rows", len(data))
+	}
+	prev := 0.0
+	for _, r := range data {
+		d := num(t, r[devices])
+		if d <= prev {
+			t.Errorf("device counts not increasing: %v after %v", d, prev)
+		}
+		prev = d
+		if num(t, r[miss]) > 20 {
+			t.Errorf("fleet of %s misses %s of deadlines", r[devices], r[miss])
+		}
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	tables := E11OffPeak(Quick())
+	header, data := rows(t, tables[0])
+	slack := col(t, header, "slack_x")
+	shifting := col(t, header, "shifting")
+	shifted := col(t, header, "shifted")
+	saving := col(t, header, "saving")
+	miss := col(t, header, "miss")
+	var genSaving, tightShifted float64
+	tightShifted = -1
+	for _, r := range data {
+		if r[shifting] != "true" {
+			continue
+		}
+		switch r[slack] {
+		case "24":
+			genSaving = num(t, r[saving])
+			if num(t, r[shifted]) < 90 {
+				t.Errorf("generous slack shifted only %s", r[shifted])
+			}
+		case "0.05":
+			tightShifted = num(t, r[shifted])
+		}
+		// The shifter must never cause more misses than the tight-deadline
+		// baseline already has; in particular, at generous slack it must
+		// stay at zero.
+		if r[slack] != "0.05" && num(t, r[miss]) != 0 {
+			t.Errorf("slack %s: shifting caused %s misses", r[slack], r[miss])
+		}
+	}
+	if genSaving < 40 {
+		t.Errorf("generous-slack saving %g%% below the 60%% discount's reach", genSaving)
+	}
+	if tightShifted != 0 {
+		t.Errorf("tight slack shifted %g%% of tasks, want 0", tightShifted)
+	}
+}
+
+func TestE12Shape(t *testing.T) {
+	tables := E12Failures(Quick())
+	header, data := rows(t, tables[0])
+	rate := col(t, header, "failure_rate")
+	retries := col(t, header, "retries")
+	failures := col(t, header, "task_failures")
+	miss := col(t, header, "miss")
+	get := func(r, a string) []string {
+		for _, row := range data {
+			if row[rate] == r && row[retries] == a {
+				return row
+			}
+		}
+		t.Fatalf("no row %s/%s", r, a)
+		return nil
+	}
+	for _, r := range []string{"0.05", "0.2", "0.5"} {
+		bare := num(t, get(r, "1")[failures])
+		retried := num(t, get(r, "5")[failures])
+		if retried >= bare && bare > 0 {
+			t.Errorf("rate %s: retries did not reduce failures (%g -> %g)", r, bare, retried)
+		}
+		if retried > 5 {
+			t.Errorf("rate %s: %g%% failures survive 5 attempts", r, retried)
+		}
+	}
+	for _, row := range data {
+		if num(t, row[miss]) != 0 {
+			t.Errorf("failures caused deadline misses: %v", row)
+		}
+	}
+}
+
+func TestE13Shape(t *testing.T) {
+	tables := E13DVFS(Quick())
+	header, data := rows(t, tables[0])
+	app := col(t, header, "app")
+	mode := col(t, header, "mode")
+	miss := col(t, header, "miss")
+	energy := col(t, header, "task_mJ")
+	byKey := map[string][]string{}
+	for _, r := range data {
+		byKey[r[app]+"/"+r[mode]] = r
+	}
+	for _, a := range []string{"sci-batch", "report-gen"} {
+		full := jEnergy(t, byKey[a+"/local-full-speed"][energy])
+		dvfs := jEnergy(t, byKey[a+"/local-dvfs"][energy])
+		cloud := jEnergy(t, byKey[a+"/cloud"][energy])
+		if !(cloud < dvfs && dvfs < full) {
+			t.Errorf("%s: energy ordering violated: cloud %g, dvfs %g, full %g", a, cloud, dvfs, full)
+		}
+		// DVFS must not cause misses: it only stretches inside the budget.
+		if m := num(t, byKey[a+"/local-dvfs"][miss]); m != 0 {
+			t.Errorf("%s: DVFS caused %g%% misses", a, m)
+		}
+	}
+}
+
+func TestE14Shape(t *testing.T) {
+	tables := E14Bursts(Quick())
+	header, data := rows(t, tables[0])
+	arrivals := col(t, header, "arrivals")
+	backend := col(t, header, "backend")
+	p95 := col(t, header, "p95_s")
+	get := func(a, b string) []string {
+		for _, r := range data {
+			if r[arrivals] == a && r[backend] == b {
+				return r
+			}
+		}
+		t.Fatalf("no row %s/%s", a, b)
+		return nil
+	}
+	// Under bursts, the fixed VM's tail must be far worse than serverless;
+	// the autoscaler lands in between.
+	slBurst := num(t, get("bursty", "serverless")[p95])
+	fixedBurst := num(t, get("bursty", "vm-fixed")[p95])
+	autoBurst := num(t, get("bursty", "vm-autoscaled")[p95])
+	if fixedBurst < 3*slBurst {
+		t.Errorf("fixed VM burst P95 (%g) not far above serverless (%g)", fixedBurst, slBurst)
+	}
+	if !(autoBurst < fixedBurst) {
+		t.Errorf("autoscaler (%g) not better than fixed (%g) under bursts", autoBurst, fixedBurst)
+	}
+	// Serverless stays in the same regime regardless of arrival pattern.
+	slSteady := num(t, get("steady", "serverless")[p95])
+	if slBurst > 10*slSteady {
+		t.Errorf("serverless tail degraded %gx under bursts", slBurst/slSteady)
+	}
+}
+
+func TestE15Shape(t *testing.T) {
+	tables := E15Granularity(Quick())
+	header, data := rows(t, tables[0])
+	app := col(t, header, "app")
+	deployment := col(t, header, "deployment")
+	fns := col(t, header, "functions")
+	runUSD := col(t, header, "run_usd")
+	byKey := map[string][]string{}
+	for _, r := range data {
+		byKey[r[app]+"/"+r[deployment]] = r
+	}
+	for _, a := range []string{"ml-batch", "sci-batch", "report-gen"} {
+		mono := byKey[a+"/monolithic"]
+		per := byKey[a+"/per-component"]
+		if mono == nil || per == nil {
+			t.Fatalf("missing rows for %s", a)
+		}
+		if mono[fns] != "1" {
+			t.Errorf("%s: monolithic deployed %s functions", a, mono[fns])
+		}
+		if num(t, per[fns]) < 2 {
+			t.Errorf("%s: per-component deployed %s functions", a, per[fns])
+		}
+		// Neither variant should dominate by more than 2x on money — the
+		// "no cost cliff" claim.
+		m, p := num(t, mono[runUSD]), num(t, per[runUSD])
+		if p > 2*m || m > 2*p {
+			t.Errorf("%s: granularity cost cliff: mono $%g vs per $%g", a, m, p)
+		}
+	}
+}
+
+func TestE16Shape(t *testing.T) {
+	tables := E16Providers(Quick())
+	header, data := rows(t, tables[0])
+	profile := col(t, header, "profile")
+	provider := col(t, header, "provider")
+	ratio := col(t, header, "cost_ratio")
+	ratioOf := func(p string) float64 {
+		for _, r := range data {
+			if r[profile] == p && r[provider] == "gcf-like" {
+				return num(t, r[ratio])
+			}
+		}
+		t.Fatalf("no gcf row for %s", p)
+		return 0
+	}
+	tiny := ratioOf("tiny-20ms")
+	large := ratioOf("large-20s")
+	// Coarse granularity hurts tiny tasks disproportionately.
+	if tiny <= large {
+		t.Errorf("granularity penalty not decreasing with size: tiny %gx vs large %gx", tiny, large)
+	}
+	if tiny < 1.2 {
+		t.Errorf("tiny-task penalty %gx implausibly small", tiny)
+	}
+	if large > 1.5 {
+		t.Errorf("large-task ratio %gx should approach the list-price gap", large)
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	tables := E10PredictionError(Quick())
+	header, data := rows(t, tables[0])
+	relErr := col(t, header, "rel_error")
+	miss := col(t, header, "miss")
+	excess := col(t, header, "excess_cost")
+	if data[0][relErr] != "0" {
+		t.Fatalf("first row not the baseline: %v", data[0])
+	}
+	if num(t, data[0][excess]) != 0 {
+		t.Errorf("baseline excess cost %s != 0", data[0][excess])
+	}
+	for _, r := range data {
+		// Graceful degradation: errors must not blow up cost or misses.
+		if num(t, r[excess]) > 50 {
+			t.Errorf("error %s: excess cost %s above 50%%", r[relErr], r[excess])
+		}
+		if num(t, r[miss]) > 10 {
+			t.Errorf("error %s: miss rate %s above 10%%", r[relErr], r[miss])
+		}
+	}
+}

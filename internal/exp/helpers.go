@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"fmt"
+
+	"offload/internal/callgraph"
+	"offload/internal/core"
+	"offload/internal/rng"
+	"offload/internal/sched"
+	"offload/internal/sim"
+	"offload/internal/workload"
+)
+
+// runResult is one simulated cell: a policy on a workload.
+type runResult struct {
+	stats     *sched.Stats
+	infraUSD  float64
+	coldRate  float64
+	simEvents uint64
+	system    *core.System
+}
+
+// runCell builds a system from cfg, streams count tasks of the template
+// mix at the Poisson rate, runs to completion, and returns the aggregate.
+func runCell(cfg core.Config, mix []workload.WeightedTemplate, rate float64, count int) (runResult, error) {
+	return runCellAt(cfg, mix, rate, count, 0)
+}
+
+// runCellAt is runCell with the stream starting at the given virtual time
+// (used by E11 to begin arrivals during peak pricing hours).
+func runCellAt(cfg core.Config, mix []workload.WeightedTemplate, rate float64, count int, startAt sim.Time) (runResult, error) {
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return runResult{}, err
+	}
+	gen, err := workload.NewGenerator(sys.Src.Split(), mix)
+	if err != nil {
+		return runResult{}, err
+	}
+	if startAt > 0 {
+		sys.Eng.At(startAt, func() {
+			sys.SubmitStream(workload.NewPoisson(sys.Src.Split(), rate), gen, count)
+		})
+	} else {
+		sys.SubmitStream(workload.NewPoisson(sys.Src.Split(), rate), gen, count)
+	}
+	sys.Run()
+
+	res := runResult{
+		stats:     sys.Stats(),
+		infraUSD:  sys.InfrastructureCostUSD(),
+		simEvents: sys.Eng.Fired(),
+		system:    sys,
+	}
+	if p := sys.Platform(); p != nil {
+		st := p.Stats()
+		if st.Invocations > 0 {
+			res.coldRate = float64(st.ColdStarts) / float64(st.Invocations)
+		}
+	}
+	return res, nil
+}
+
+// templateMix returns the single-template mix for an app name.
+func templateMix(app string) ([]workload.WeightedTemplate, error) {
+	g, ok := callgraph.Templates()[app]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown template %q", app)
+	}
+	t, err := workload.FromGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	return []workload.WeightedTemplate{{Template: t, Weight: 1}}, nil
+}
+
+// standardMixTemplates returns the five-template equal-weight mix.
+func standardMixTemplates() ([]workload.WeightedTemplate, error) {
+	var mix []workload.WeightedTemplate
+	for _, name := range callgraph.TemplateNames() {
+		t, err := workload.FromGraph(callgraph.Templates()[name])
+		if err != nil {
+			return nil, err
+		}
+		mix = append(mix, workload.WeightedTemplate{Template: t, Weight: 1})
+	}
+	return mix, nil
+}
+
+// scaleDeadlines multiplies every template deadline by factor.
+func scaleDeadlines(mix []workload.WeightedTemplate, factor float64) []workload.WeightedTemplate {
+	out := make([]workload.WeightedTemplate, len(mix))
+	copy(out, mix)
+	for i := range out {
+		out[i].Template.Deadline = sim.Duration(float64(out[i].Template.Deadline) * factor)
+	}
+	return out
+}
+
+// pct formats a fraction as a percentage string.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// usd formats dollars with enough precision for micro-bills.
+func usd(v float64) string {
+	switch {
+	case v == 0:
+		return "$0"
+	case v < 0.001:
+		return fmt.Sprintf("$%.2e", v)
+	default:
+		return fmt.Sprintf("$%.4f", v)
+	}
+}
+
+// seconds formats a duration in seconds.
+func seconds(v float64) string { return fmt.Sprintf("%.3gs", v) }
+
+// newSeedSource derives a seed stream for replicated cells.
+func newSeedSource(base uint64) *rng.Source { return rng.New(base) }

@@ -1,0 +1,177 @@
+// Package metrics provides the measurement primitives the benchmark
+// harness reports with: log-bucketed histograms with quantile queries,
+// Welford mean/variance summaries, and aligned-text / CSV table rendering.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram records positive float64 observations in logarithmic buckets,
+// trading a bounded relative error (about 5% per bucket) for O(1) inserts
+// and O(buckets) quantiles. Zero and negative observations land in a
+// dedicated underflow bucket.
+type Histogram struct {
+	min     float64 // lower bound of bucket 0
+	growth  float64 // bucket width factor
+	logG    float64
+	buckets []uint64
+	under   uint64 // observations <= 0 or < min
+	count   uint64
+	sum     float64
+	max     float64
+	minSeen float64
+}
+
+// NewHistogram returns a histogram covering [min, max] with the given
+// per-bucket growth factor (e.g. 1.05). It panics on nonsensical bounds.
+func NewHistogram(min, max, growth float64) *Histogram {
+	if min <= 0 || max <= min || growth <= 1 {
+		panic(fmt.Sprintf("metrics: bad histogram bounds min=%g max=%g growth=%g", min, max, growth))
+	}
+	n := int(math.Ceil(math.Log(max/min)/math.Log(growth))) + 1
+	return &Histogram{
+		min:     min,
+		growth:  growth,
+		logG:    math.Log(growth),
+		buckets: make([]uint64, n),
+		minSeen: math.Inf(1),
+	}
+}
+
+// NewLatencyHistogram covers 1 µs to 1,000,000 s, ample for any completion
+// time this simulator produces.
+func NewLatencyHistogram() *Histogram {
+	return NewHistogram(1e-6, 1e6, 1.05)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	if v < h.minSeen {
+		h.minSeen = v
+	}
+	if v < h.min {
+		h.under++
+		return
+	}
+	idx := int(math.Log(v/h.min) / h.logG)
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	h.buckets[idx]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the exact mean of all observations (not bucketed).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Max returns the largest observation, or 0 if empty.
+func (h *Histogram) Max() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Min returns the smallest observation, or 0 if empty.
+func (h *Histogram) Min() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.minSeen
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]) with the
+// histogram's relative bucket error. It returns 0 for an empty histogram
+// and panics on q outside [0,1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("metrics: quantile %g outside [0,1]", q))
+	}
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	seen := h.under
+	if seen >= target {
+		return h.min
+	}
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			// Upper edge of the bucket: a conservative estimate.
+			return h.min * math.Pow(h.growth, float64(i+1))
+		}
+	}
+	return h.max
+}
+
+// Summary computes running mean and variance with Welford's algorithm —
+// numerically stable and single pass.
+type Summary struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Observe records one value.
+func (s *Summary) Observe(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	delta := v - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (v - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() uint64 { return s.n }
+
+// Mean returns the running mean, or 0 if empty.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the sample variance, or 0 with fewer than two values.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or 0 if empty.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 if empty.
+func (s *Summary) Max() float64 { return s.max }
+
+// Sum returns n·mean, the exact total of all observations up to rounding.
+func (s *Summary) Sum() float64 { return s.mean * float64(s.n) }

@@ -1,0 +1,120 @@
+package network
+
+import (
+	"math"
+
+	"offload/internal/sim"
+)
+
+// Fair-share mode: concurrent transfers in the same direction split the
+// direction's bandwidth equally, the processor-sharing model of a real
+// bottleneck link. Each arrival or departure re-computes every active
+// flow's completion time from its remaining bits.
+
+type flow struct {
+	remainingBits float64
+	start         sim.Time
+	bytes         int64
+	dir           Direction
+	degraded      bool
+	done          func(Report)
+	ev            *sim.Event
+}
+
+// sharedLink is the per-direction processor-sharing state.
+type sharedLink struct {
+	path  *Path
+	dir   Direction
+	flows []*flow
+	last  sim.Time
+}
+
+// progress charges elapsed time against every active flow at the current
+// equal share.
+func (s *sharedLink) progress() {
+	now := s.path.eng.Now()
+	if len(s.flows) > 0 {
+		per := s.path.bandwidth(s.dir) / float64(len(s.flows))
+		elapsed := float64(now.Sub(s.last))
+		for _, f := range s.flows {
+			f.remainingBits = math.Max(0, f.remainingBits-per*elapsed)
+		}
+	}
+	s.last = now
+}
+
+// reschedule recomputes every flow's completion event.
+func (s *sharedLink) reschedule() {
+	eng := s.path.eng
+	n := len(s.flows)
+	if n == 0 {
+		return
+	}
+	per := s.path.bandwidth(s.dir) / float64(n)
+	for _, f := range s.flows {
+		if f.ev != nil {
+			eng.Cancel(f.ev)
+		}
+		f := f
+		f.ev = eng.After(sim.Duration(f.remainingBits/per), func() { s.complete(f) })
+	}
+}
+
+func (s *sharedLink) add(f *flow) {
+	s.progress()
+	s.flows = append(s.flows, f)
+	s.reschedule()
+}
+
+func (s *sharedLink) complete(f *flow) {
+	s.progress()
+	for i, g := range s.flows {
+		if g == f {
+			s.flows = append(s.flows[:i], s.flows[i+1:]...)
+			break
+		}
+	}
+	s.reschedule()
+	p := s.path
+	p.transfers++
+	if f.dir == Uplink {
+		p.bytesUp += f.bytes
+	} else {
+		p.bytesDown += f.bytes
+	}
+	f.done(Report{Start: f.start, End: p.eng.Now(), Bytes: f.bytes, Direction: f.dir, Degraded: f.degraded})
+}
+
+// Active returns the number of in-flight transfers in dir (fair-share
+// mode only; 0 otherwise).
+func (p *Path) Active(dir Direction) int {
+	if s := p.shared[dir]; s != nil {
+		return len(s.flows)
+	}
+	return 0
+}
+
+// transferShared starts a fair-share transfer: propagation (plus jitter)
+// first, then processor-sharing transmission.
+func (p *Path) transferShared(n int64, dir Direction, done func(Report)) {
+	start := p.eng.Now()
+	p.advanceChain()
+	degraded := p.bad
+	delay := float64(p.cfg.OneWayDelay)
+	if p.cfg.JitterStd > 0 {
+		delay += p.src.Normal(0, p.cfg.JitterStd)
+		if delay < 0 {
+			delay = 0
+		}
+	}
+	p.eng.After(sim.Duration(delay), func() {
+		p.shared[dir].add(&flow{
+			remainingBits: float64(8 * n),
+			start:         start,
+			bytes:         n,
+			dir:           dir,
+			degraded:      degraded,
+			done:          done,
+		})
+	})
+}

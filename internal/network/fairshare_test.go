@@ -1,0 +1,149 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"offload/internal/rng"
+	"offload/internal/sim"
+)
+
+func fairConfig() Config {
+	return Config{
+		Name:        "shared",
+		OneWayDelay: 0, // pure transmission for exact arithmetic
+		UplinkBps:   8e6,
+		DownlinkBps: 8e6,
+		FairShare:   true,
+	}
+}
+
+func TestFairShareExclusiveWithSerialize(t *testing.T) {
+	cfg := fairConfig()
+	cfg.Serialize = true
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Serialize+FairShare accepted")
+	}
+}
+
+func TestFairShareSingleFlowFullBandwidth(t *testing.T) {
+	eng := sim.NewEngine()
+	p := New(eng, rng.New(1), fairConfig())
+	var rep Report
+	p.Transfer(1_000_000, Uplink, func(r Report) { rep = r })
+	eng.Run()
+	if math.Abs(float64(rep.Duration())-1) > 1e-9 {
+		t.Fatalf("single flow duration = %v, want 1", rep.Duration())
+	}
+}
+
+func TestFairShareTwoConcurrentFlowsHalveBandwidth(t *testing.T) {
+	eng := sim.NewEngine()
+	p := New(eng, rng.New(1), fairConfig())
+	var ends []sim.Time
+	for i := 0; i < 2; i++ {
+		p.Transfer(1_000_000, Uplink, func(r Report) { ends = append(ends, r.End) })
+	}
+	eng.Run()
+	// Both share 8 Mbps: each effectively gets 4 Mbps, both finish at 2 s.
+	for i, e := range ends {
+		if math.Abs(float64(e)-2) > 1e-9 {
+			t.Fatalf("flow %d ended at %v, want 2", i, e)
+		}
+	}
+}
+
+func TestFairShareLateArrivalSlowsFirstFlow(t *testing.T) {
+	eng := sim.NewEngine()
+	p := New(eng, rng.New(1), fairConfig())
+	var first, second sim.Time
+	p.Transfer(1_000_000, Uplink, func(r Report) { first = r.End })
+	eng.At(0.5, func() {
+		p.Transfer(1_000_000, Uplink, func(r Report) { second = r.End })
+	})
+	eng.Run()
+	// First: 0.5 s alone (half done), then shares until finished: another
+	// 0.5 Mbits... remaining 4 Mbits at 4 Mbps = 1 s → ends at 1.5.
+	if math.Abs(float64(first)-1.5) > 1e-9 {
+		t.Fatalf("first flow ended at %v, want 1.5", first)
+	}
+	// Second: shares [0.5, 1.5] (4 Mbits done), then alone: 4 Mbits at
+	// 8 Mbps = 0.5 → ends at 2.0.
+	if math.Abs(float64(second)-2.0) > 1e-9 {
+		t.Fatalf("second flow ended at %v, want 2.0", second)
+	}
+}
+
+func TestFairShareDirectionsIndependent(t *testing.T) {
+	eng := sim.NewEngine()
+	p := New(eng, rng.New(1), fairConfig())
+	var up, down sim.Time
+	p.Transfer(1_000_000, Uplink, func(r Report) { up = r.End })
+	p.Transfer(1_000_000, Downlink, func(r Report) { down = r.End })
+	eng.Run()
+	// Different directions do not contend.
+	if math.Abs(float64(up)-1) > 1e-9 || math.Abs(float64(down)-1) > 1e-9 {
+		t.Fatalf("cross-direction contention: up %v down %v", up, down)
+	}
+}
+
+func TestFairShareNFlowsScaleLinearly(t *testing.T) {
+	for _, n := range []int{1, 3, 5} {
+		eng := sim.NewEngine()
+		p := New(eng, rng.New(1), fairConfig())
+		var last sim.Time
+		for i := 0; i < n; i++ {
+			p.Transfer(1_000_000, Uplink, func(r Report) { last = r.End })
+		}
+		eng.Run()
+		if math.Abs(float64(last)-float64(n)) > 1e-6 {
+			t.Fatalf("%d flows finished at %v, want %d", n, last, n)
+		}
+	}
+}
+
+func TestFairShareActiveCount(t *testing.T) {
+	eng := sim.NewEngine()
+	p := New(eng, rng.New(1), fairConfig())
+	for i := 0; i < 3; i++ {
+		p.Transfer(1_000_000, Uplink, func(Report) {})
+	}
+	eng.RunUntil(0.1)
+	if got := p.Active(Uplink); got != 3 {
+		t.Fatalf("Active = %d, want 3", got)
+	}
+	eng.Run()
+	if got := p.Active(Uplink); got != 0 {
+		t.Fatalf("Active after drain = %d", got)
+	}
+	// Non-fair-share paths report zero.
+	plain := New(eng, rng.New(2), noJitter("plain"))
+	if plain.Active(Uplink) != 0 {
+		t.Fatal("plain path reported active flows")
+	}
+}
+
+func TestFairShareZeroBytes(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := fairConfig()
+	cfg.OneWayDelay = 0.01
+	p := New(eng, rng.New(1), cfg)
+	var rep Report
+	p.Transfer(0, Uplink, func(r Report) { rep = r })
+	eng.Run()
+	if math.Abs(float64(rep.Duration())-0.01) > 1e-9 {
+		t.Fatalf("zero-byte fair-share duration = %v", rep.Duration())
+	}
+}
+
+func TestFairShareStatsAccumulate(t *testing.T) {
+	eng := sim.NewEngine()
+	p := New(eng, rng.New(1), fairConfig())
+	p.Transfer(100, Uplink, func(Report) {})
+	p.Transfer(200, Downlink, func(Report) {})
+	eng.Run()
+	s := p.Stats()
+	if s.Transfers != 2 || s.BytesUp != 100 || s.BytesDown != 200 {
+		t.Fatalf("Stats = %+v", s)
+	}
+}

@@ -1,0 +1,241 @@
+// Package network models the paths between user equipment and remote
+// compute: the wide-area path to the cloud and the local-area path to an
+// edge site.
+//
+// A Path has a propagation delay, asymmetric bandwidth, jitter, and an
+// optional Gilbert–Elliott two-state degradation chain (good/bad radio
+// conditions). Transfer produces virtual-time completion callbacks on the
+// simulation engine, so schedulers can compose "uplink → execute →
+// downlink" flows.
+package network
+
+import (
+	"fmt"
+
+	"offload/internal/rng"
+	"offload/internal/sim"
+)
+
+// Direction distinguishes uplink (device to remote) from downlink.
+type Direction int
+
+// Transfer directions.
+const (
+	Uplink Direction = iota
+	Downlink
+)
+
+// String returns "uplink" or "downlink".
+func (d Direction) String() string {
+	if d == Uplink {
+		return "uplink"
+	}
+	return "downlink"
+}
+
+// Config describes a network path.
+type Config struct {
+	Name string
+
+	// OneWayDelay is the propagation delay in each direction.
+	OneWayDelay sim.Duration
+	// JitterStd is the standard deviation of per-transfer delay noise, in
+	// seconds. Sampled noise is clamped so delay never goes negative.
+	JitterStd float64
+
+	UplinkBps   float64 // device→remote bandwidth, bits per second
+	DownlinkBps float64 // remote→device bandwidth, bits per second
+
+	// Gilbert–Elliott degradation. Rates are per second of virtual time;
+	// zero rates disable the chain (path is always good). In the bad state
+	// bandwidth is multiplied by BadFactor.
+	GoodToBadRate float64
+	BadToGoodRate float64
+	BadFactor     float64
+
+	// Serialize makes transfers queue on a single radio (realistic for one
+	// device's cellular modem). When false, transfers overlap freely.
+	Serialize bool
+
+	// FairShare makes concurrent transfers in one direction split that
+	// direction's bandwidth equally (processor sharing) — the model for a
+	// shared bottleneck link. Mutually exclusive with Serialize.
+	FairShare bool
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.OneWayDelay < 0:
+		return fmt.Errorf("network: %s: negative one-way delay", c.Name)
+	case c.UplinkBps <= 0 || c.DownlinkBps <= 0:
+		return fmt.Errorf("network: %s: bandwidth must be positive", c.Name)
+	case c.JitterStd < 0:
+		return fmt.Errorf("network: %s: negative jitter", c.Name)
+	case c.GoodToBadRate < 0 || c.BadToGoodRate < 0:
+		return fmt.Errorf("network: %s: negative transition rate", c.Name)
+	case (c.GoodToBadRate > 0) != (c.BadToGoodRate > 0):
+		return fmt.Errorf("network: %s: both transition rates must be set together", c.Name)
+	case c.GoodToBadRate > 0 && (c.BadFactor <= 0 || c.BadFactor > 1):
+		return fmt.Errorf("network: %s: BadFactor must be in (0,1] when degradation is enabled", c.Name)
+	case c.Serialize && c.FairShare:
+		return fmt.Errorf("network: %s: Serialize and FairShare are mutually exclusive", c.Name)
+	}
+	return nil
+}
+
+// Path is a live network path bound to a simulation engine.
+type Path struct {
+	eng *sim.Engine
+	src *rng.Source
+	cfg Config
+
+	radio  *sim.Resource             // nil unless cfg.Serialize
+	shared map[Direction]*sharedLink // nil unless cfg.FairShare
+
+	// Lazily advanced Gilbert–Elliott state.
+	bad            bool
+	nextTransition sim.Time
+
+	bytesUp, bytesDown int64
+	transfers          uint64
+}
+
+// New returns a Path on eng using src for stochastic draws. It panics if
+// the configuration is invalid; configs are programmer-supplied constants.
+func New(eng *sim.Engine, src *rng.Source, cfg Config) *Path {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	p := &Path{eng: eng, src: src, cfg: cfg}
+	if cfg.Serialize {
+		p.radio = sim.NewResource(eng, cfg.Name+"/radio", 1)
+	}
+	if cfg.FairShare {
+		p.shared = map[Direction]*sharedLink{
+			Uplink:   {path: p, dir: Uplink},
+			Downlink: {path: p, dir: Downlink},
+		}
+	}
+	if cfg.GoodToBadRate > 0 {
+		p.nextTransition = eng.Now().Add(sim.Duration(src.Exp(cfg.GoodToBadRate)))
+	}
+	return p
+}
+
+// Name returns the configured path name.
+func (p *Path) Name() string { return p.cfg.Name }
+
+// Config returns the path configuration.
+func (p *Path) Config() Config { return p.cfg }
+
+// Report is the outcome of one transfer.
+type Report struct {
+	Start, End sim.Time
+	Bytes      int64
+	Direction  Direction
+	// Degraded reports whether the path was in the bad state when the
+	// transfer started.
+	Degraded bool
+}
+
+// Duration returns the transfer's wall time including queueing.
+func (r Report) Duration() sim.Duration { return r.End.Sub(r.Start) }
+
+// advanceChain moves the Gilbert–Elliott chain forward to the current
+// virtual time, flipping states at their sampled sojourn boundaries.
+func (p *Path) advanceChain() {
+	if p.cfg.GoodToBadRate == 0 {
+		return
+	}
+	now := p.eng.Now()
+	for p.nextTransition <= now {
+		at := p.nextTransition
+		p.bad = !p.bad
+		rate := p.cfg.GoodToBadRate
+		if p.bad {
+			rate = p.cfg.BadToGoodRate
+		}
+		p.nextTransition = at.Add(sim.Duration(p.src.Exp(rate)))
+	}
+}
+
+// bandwidth returns the effective bits-per-second for dir right now.
+func (p *Path) bandwidth(dir Direction) float64 {
+	bps := p.cfg.UplinkBps
+	if dir == Downlink {
+		bps = p.cfg.DownlinkBps
+	}
+	if p.bad {
+		bps *= p.cfg.BadFactor
+	}
+	return bps
+}
+
+// EstimateTransfer returns the expected duration of moving n bytes in dir
+// under good conditions with no queueing. Schedulers use this for planning;
+// actual transfers include jitter and degradation.
+func (p *Path) EstimateTransfer(n int64, dir Direction) sim.Duration {
+	bps := p.cfg.UplinkBps
+	if dir == Downlink {
+		bps = p.cfg.DownlinkBps
+	}
+	return p.cfg.OneWayDelay + sim.Duration(float64(8*n)/bps)
+}
+
+// Transfer moves n bytes across the path in dir and calls done when the
+// last byte arrives. Zero-byte transfers still pay propagation delay
+// (a request with empty payload). Negative sizes panic.
+func (p *Path) Transfer(n int64, dir Direction, done func(Report)) {
+	if n < 0 {
+		panic(fmt.Sprintf("network: %s: negative transfer size %d", p.cfg.Name, n))
+	}
+	if done == nil {
+		panic("network: Transfer with nil callback")
+	}
+	if p.shared != nil {
+		p.transferShared(n, dir, done)
+		return
+	}
+	start := p.eng.Now()
+	run := func() {
+		p.advanceChain()
+		degraded := p.bad
+		d := float64(p.cfg.OneWayDelay) + float64(8*n)/p.bandwidth(dir)
+		if p.cfg.JitterStd > 0 {
+			d += p.src.Normal(0, p.cfg.JitterStd)
+			if d < 0 {
+				d = 0
+			}
+		}
+		p.eng.After(sim.Duration(d), func() {
+			p.transfers++
+			if dir == Uplink {
+				p.bytesUp += n
+			} else {
+				p.bytesDown += n
+			}
+			if p.radio != nil {
+				p.radio.Release()
+			}
+			done(Report{Start: start, End: p.eng.Now(), Bytes: n, Direction: dir, Degraded: degraded})
+		})
+	}
+	if p.radio != nil {
+		p.radio.Acquire(run)
+		return
+	}
+	run()
+}
+
+// Stats summarises path usage.
+type Stats struct {
+	Transfers uint64
+	BytesUp   int64
+	BytesDown int64
+}
+
+// Stats returns cumulative usage counters.
+func (p *Path) Stats() Stats {
+	return Stats{Transfers: p.transfers, BytesUp: p.bytesUp, BytesDown: p.bytesDown}
+}

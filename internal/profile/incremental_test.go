@@ -1,0 +1,85 @@
+package profile
+
+import (
+	"testing"
+
+	"offload/internal/callgraph"
+	"offload/internal/rng"
+)
+
+func TestUpdateCatalogNilPriorProfilesEverything(t *testing.T) {
+	g := callgraph.ReportGen()
+	cat, n, err := UpdateCatalog(nil, g, NewMeter(rng.New(1), 0), 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != g.Len() {
+		t.Fatalf("reprofiled %d, want all %d", n, g.Len())
+	}
+	if len(cat.Profiles()) != g.Len() {
+		t.Fatalf("catalog has %d entries", len(cat.Profiles()))
+	}
+}
+
+func TestUpdateCatalogReprofilesOnlyChanged(t *testing.T) {
+	g := callgraph.ReportGen()
+	meter := NewMeter(rng.New(1), 0)
+	prior, err := BuildCatalog(g, meter, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, n, err := UpdateCatalog(prior, g, meter, 5, []string{"aggregate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("reprofiled %d components, want 1", n)
+	}
+	// Unchanged entries are carried over verbatim.
+	for _, comp := range g.Components() {
+		if comp.Name == "aggregate" {
+			continue
+		}
+		before, _ := prior.Lookup(comp.Name)
+		after, ok := cat.Lookup(comp.Name)
+		if !ok || before != after {
+			t.Fatalf("unchanged component %s was touched", comp.Name)
+		}
+	}
+}
+
+func TestUpdateCatalogReprofilesMissingComponents(t *testing.T) {
+	g := callgraph.ReportGen()
+	meter := NewMeter(rng.New(2), 0)
+	prior, err := BuildCatalog(g, meter, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A new component appears in the next build.
+	grown := callgraph.New(g.Name())
+	for _, c := range g.Components() {
+		grown.MustAddComponent(c)
+	}
+	grown.MustAddComponent(callgraph.Component{Name: "new-stage", Cycles: 7e9})
+	cat, n, err := UpdateCatalog(prior, grown, meter, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("reprofiled %d, want just the new component", n)
+	}
+	if _, ok := cat.Lookup("new-stage"); !ok {
+		t.Fatal("new component not in catalog")
+	}
+}
+
+func TestUpdateCatalogValidation(t *testing.T) {
+	g := callgraph.ReportGen()
+	prior, _ := BuildCatalog(g, NewMeter(rng.New(1), 0), 3)
+	if _, _, err := UpdateCatalog(prior, g, NewMeter(rng.New(1), 0), 0, nil); err == nil {
+		t.Fatal("runs=0 accepted")
+	}
+	if _, _, err := UpdateCatalog(prior, callgraph.New("empty"), NewMeter(rng.New(1), 0), 3, nil); err == nil {
+		t.Fatal("invalid graph accepted")
+	}
+}

@@ -1,0 +1,250 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"offload/internal/callgraph"
+	"offload/internal/rng"
+)
+
+func TestLinearModelRecoversExactLine(t *testing.T) {
+	l := &LinearModel{}
+	// cycles = 1000 + 5·bytes
+	for _, x := range []int64{100, 200, 500, 1000, 4000} {
+		l.Observe(x, 1000+5*float64(x))
+	}
+	a, b := l.Coefficients()
+	if math.Abs(a-1000) > 1e-6 || math.Abs(b-5) > 1e-9 {
+		t.Fatalf("Coefficients = (%g, %g), want (1000, 5)", a, b)
+	}
+	if got := l.Predict(2000); math.Abs(got-11000) > 1e-6 {
+		t.Fatalf("Predict(2000) = %g, want 11000", got)
+	}
+}
+
+func TestLinearModelNoisyFit(t *testing.T) {
+	src := rng.New(1)
+	l := &LinearModel{}
+	for i := 0; i < 2000; i++ {
+		x := int64(src.Uniform(1000, 100000))
+		y := 5e6 + 120*float64(x) + src.Normal(0, 1e5)
+		l.Observe(x, y)
+	}
+	_, b := l.Coefficients()
+	if math.Abs(b-120)/120 > 0.02 {
+		t.Fatalf("slope = %g, want ~120", b)
+	}
+}
+
+func TestLinearModelDegenerateInputs(t *testing.T) {
+	l := &LinearModel{}
+	if l.Predict(100) != 0 {
+		t.Fatal("empty model should predict 0")
+	}
+	// All observations at the same input size: mean-only model.
+	l.Observe(500, 10)
+	l.Observe(500, 20)
+	l.Observe(500, 30)
+	if got := l.Predict(9999); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("degenerate Predict = %g, want mean 20", got)
+	}
+}
+
+func TestLinearModelNeverNegative(t *testing.T) {
+	l := &LinearModel{}
+	// Steep negative slope.
+	l.Observe(0, 100)
+	l.Observe(100, 0)
+	if got := l.Predict(10000); got != 0 {
+		t.Fatalf("Predict clamped = %g, want 0", got)
+	}
+}
+
+func TestEWMAConverges(t *testing.T) {
+	e := NewEWMA(0.3)
+	for i := 0; i < 200; i++ {
+		e.Observe(0, 42)
+	}
+	if math.Abs(e.Predict(0)-42) > 1e-9 {
+		t.Fatalf("EWMA = %g, want 42", e.Predict(0))
+	}
+}
+
+func TestEWMAAdaptsToDrift(t *testing.T) {
+	e := NewEWMA(0.5)
+	for i := 0; i < 50; i++ {
+		e.Observe(0, 10)
+	}
+	for i := 0; i < 50; i++ {
+		e.Observe(0, 100)
+	}
+	if got := e.Predict(0); math.Abs(got-100) > 1 {
+		t.Fatalf("EWMA after drift = %g, want ~100", got)
+	}
+}
+
+func TestEWMAFirstObservationSeedsValue(t *testing.T) {
+	e := NewEWMA(0.01)
+	e.Observe(0, 77)
+	if e.Predict(0) != 77 {
+		t.Fatalf("EWMA after one observation = %g, want 77", e.Predict(0))
+	}
+}
+
+func TestEWMAAlphaValidation(t *testing.T) {
+	for _, a := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEWMA(%g) did not panic", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}
+
+func TestWindowQuantile(t *testing.T) {
+	wq := NewWindowQuantile(10, 0.9)
+	for i := 1; i <= 10; i++ {
+		wq.Observe(0, float64(i))
+	}
+	if got := wq.Predict(0); got != 9 {
+		t.Fatalf("P90 of 1..10 = %g, want 9", got)
+	}
+	// Window slides: push ten 100s, old values evicted.
+	for i := 0; i < 10; i++ {
+		wq.Observe(0, 100)
+	}
+	if got := wq.Predict(0); got != 100 {
+		t.Fatalf("P90 after slide = %g, want 100", got)
+	}
+}
+
+func TestWindowQuantileMinMax(t *testing.T) {
+	wq := NewWindowQuantile(5, 0)
+	for _, v := range []float64{5, 3, 9, 1, 7} {
+		wq.Observe(0, v)
+	}
+	if got := wq.Predict(0); got != 1 {
+		t.Fatalf("q=0 = %g, want min 1", got)
+	}
+	wqMax := NewWindowQuantile(5, 1)
+	for _, v := range []float64{5, 3, 9, 1, 7} {
+		wqMax.Observe(0, v)
+	}
+	if got := wqMax.Predict(0); got != 9 {
+		t.Fatalf("q=1 = %g, want max 9", got)
+	}
+}
+
+func TestWindowQuantileEmptyPredictsZero(t *testing.T) {
+	if got := NewWindowQuantile(5, 0.5).Predict(0); got != 0 {
+		t.Fatalf("empty window Predict = %g", got)
+	}
+}
+
+func TestMeterExactWhenNoiseless(t *testing.T) {
+	m := NewMeter(rng.New(1), 0)
+	f := func(v uint32) bool {
+		return m.Measure(float64(v)) == float64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeterUnbiasedAndSpread(t *testing.T) {
+	m := NewMeter(rng.New(2), 0.2)
+	const truth = 1e9
+	sum, sumsq := 0.0, 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := m.Measure(truth)
+		if v <= 0 {
+			t.Fatal("measurement not positive")
+		}
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	if math.Abs(mean-truth)/truth > 0.01 {
+		t.Fatalf("meter biased: mean = %g, want ~%g", mean, truth)
+	}
+	rel := math.Sqrt(sumsq/n-mean*mean) / mean
+	if math.Abs(rel-0.2) > 0.02 {
+		t.Fatalf("relative spread = %g, want ~0.2", rel)
+	}
+}
+
+func TestBuildCatalog(t *testing.T) {
+	g := callgraph.ReportGen()
+	cat, err := BuildCatalog(g, NewMeter(rng.New(3), 0.1), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.App() != g.Name() {
+		t.Fatalf("App = %q", cat.App())
+	}
+	if len(cat.Profiles()) != g.Len() {
+		t.Fatalf("catalog has %d profiles, want %d", len(cat.Profiles()), g.Len())
+	}
+	for _, comp := range g.Components() {
+		p, ok := cat.Lookup(comp.Name)
+		if !ok {
+			t.Fatalf("missing profile for %s", comp.Name)
+		}
+		if p.RelativeError(comp.Cycles) > 0.15 {
+			t.Errorf("%s: mean estimate off by %.0f%%", comp.Name, 100*p.RelativeError(comp.Cycles))
+		}
+		if p.P95Cycles < p.MeanCycles*0.8 {
+			t.Errorf("%s: P95 %g implausibly below mean %g", comp.Name, p.P95Cycles, p.MeanCycles)
+		}
+	}
+}
+
+func TestBuildCatalogValidation(t *testing.T) {
+	g := callgraph.ReportGen()
+	if _, err := BuildCatalog(g, NewMeter(rng.New(1), 0), 0); err == nil {
+		t.Fatal("runs=0 accepted")
+	}
+	empty := callgraph.New("empty")
+	if _, err := BuildCatalog(empty, NewMeter(rng.New(1), 0), 5); err == nil {
+		t.Fatal("invalid graph accepted")
+	}
+}
+
+func TestEstimatedGraph(t *testing.T) {
+	g := callgraph.MLBatch()
+	cat, err := BuildCatalog(g, NewMeter(rng.New(4), 0), 3) // noiseless
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := cat.EstimatedGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Len() != g.Len() || len(est.Edges()) != len(g.Edges()) {
+		t.Fatal("estimated graph changed shape")
+	}
+	for i := 0; i < g.Len(); i++ {
+		id := callgraph.ComponentID(i)
+		if est.Component(id).Cycles != g.Component(id).Cycles {
+			t.Fatalf("noiseless estimate differs for %s", g.Component(id).Name)
+		}
+	}
+}
+
+func TestEstimatedGraphMissingComponent(t *testing.T) {
+	g := callgraph.MLBatch()
+	cat, err := BuildCatalog(g, NewMeter(rng.New(4), 0), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := callgraph.ReportGen()
+	if _, err := cat.EstimatedGraph(other); err == nil {
+		t.Fatal("catalog applied to foreign graph")
+	}
+}

@@ -1,0 +1,254 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("step %d: streams diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical values out of 100", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// Record the child's first draws, then advance the parent and verify the
+	// child continues its own deterministic stream.
+	want := make([]uint64, 10)
+	probe := New(7)
+	probeChild := probe.Split()
+	for i := range want {
+		want[i] = probeChild.Uint64()
+	}
+	for i := 0; i < 50; i++ {
+		parent.Uint64()
+	}
+	for i := range want {
+		if got := child.Uint64(); got != want[i] {
+			t.Fatalf("child stream affected by parent at %d: %d != %d", i, got, want[i])
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", f)
+		}
+	}
+}
+
+func TestFloat64RangeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(4)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	tests := []struct {
+		name string
+		rate float64
+	}{
+		{"rate 1", 1},
+		{"rate 0.1", 0.1},
+		{"rate 50", 50},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := New(99)
+			const n = 200000
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				v := r.Exp(tt.rate)
+				if v < 0 {
+					t.Fatalf("Exp returned negative value %g", v)
+				}
+				sum += v
+			}
+			mean := sum / n
+			want := 1 / tt.rate
+			if math.Abs(mean-want)/want > 0.02 {
+				t.Fatalf("Exp(rate=%g) mean = %g, want ~%g", tt.rate, mean, want)
+			}
+		})
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 3)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("Normal mean = %g, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.05 {
+		t.Errorf("Normal stddev = %g, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(6)
+	for i := 0; i < 10000; i++ {
+		if v := r.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal returned non-positive value %g", v)
+		}
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(2, 1.5); v < 2 {
+			t.Fatalf("Pareto(2, 1.5) returned %g < xm", v)
+		}
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		v := r.Uniform(5, 9)
+		return v >= 5 && v < 9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(11)
+	z := NewZipf(r, 100, 1.2)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+	// Rank-0 frequency should approximate 1/H where H is the normalising sum.
+	if counts[0] < n/10 {
+		t.Fatalf("Zipf rank-0 frequency too low: %d", counts[0])
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := New(12)
+	z := NewZipf(r, 10, 0)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-n/10) > n/50 {
+			t.Fatalf("Zipf(s=0) not uniform: counts[%d]=%d", i, c)
+		}
+	}
+}
+
+func TestEmpiricalOnlyObservedValues(t *testing.T) {
+	r := New(13)
+	vals := []float64{1.5, 2.5, 42}
+	e := NewEmpirical(r, vals)
+	allowed := map[float64]bool{1.5: true, 2.5: true, 42: true}
+	for i := 0; i < 1000; i++ {
+		if v := e.Next(); !allowed[v] {
+			t.Fatalf("Empirical returned unobserved value %g", v)
+		}
+	}
+}
+
+func TestEmpiricalCopiesInput(t *testing.T) {
+	r := New(14)
+	vals := []float64{1, 2, 3}
+	e := NewEmpirical(r, vals)
+	vals[0] = 999
+	for i := 0; i < 100; i++ {
+		if e.Next() == 999 {
+			t.Fatal("Empirical did not copy its input slice")
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkExp(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Exp(1)
+	}
+}

@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"fmt"
+
+	"offload/internal/alloc"
+	"offload/internal/model"
+	"offload/internal/serverless"
+	"offload/internal/sim"
+)
+
+// FunctionPool lazily deploys one serverless function per application,
+// sized by the resource allocator from the first task's predicted demand —
+// the deployment decision the paper's serverless-allocation contribution
+// is about. Re-allocation happens when the predicted demand drifts past a
+// tolerance, mirroring a CI/CD-driven re-deploy.
+type FunctionPool struct {
+	platform *serverless.Platform
+	alloc    *alloc.Allocator
+	byApp    map[string]*poolEntry
+
+	// TimeBudgetFactor converts a task deadline into the execution budget
+	// handed to the allocator: transfers and queueing consume the rest of
+	// the slack. Defaults to 0.5.
+	TimeBudgetFactor float64
+	// ArrivalRateHint drives the cold-start probability estimate. Zero
+	// means "unknown" (pessimistic: every invocation cold).
+	ArrivalRateHint float64
+	// RedeployTolerance re-allocates when predicted demand moves by more
+	// than this factor from the deployed sizing. Zero disables.
+	RedeployTolerance float64
+	// ProvisionedConcurrency pre-warms this many environments on every
+	// function the pool deploys.
+	ProvisionedConcurrency int
+
+	redeploys uint64
+}
+
+type poolEntry struct {
+	fn          *serverless.Function
+	sizedCycles float64
+	sizedMem    int64
+}
+
+// NewFunctionPool returns a pool on the given platform.
+func NewFunctionPool(p *serverless.Platform) *FunctionPool {
+	return &FunctionPool{
+		platform:         p,
+		alloc:            alloc.New(p.Config()),
+		byApp:            make(map[string]*poolEntry),
+		TimeBudgetFactor: 0.5,
+	}
+}
+
+// Platform returns the underlying serverless platform.
+func (p *FunctionPool) Platform() *serverless.Platform { return p.platform }
+
+// Allocator returns the pool's resource allocator.
+func (p *FunctionPool) Allocator() *alloc.Allocator { return p.alloc }
+
+// Redeploys returns how many drift-triggered re-deployments happened.
+func (p *FunctionPool) Redeploys() uint64 { return p.redeploys }
+
+func (p *FunctionPool) request(task *model.Task, predictedCycles float64) alloc.Request {
+	req := alloc.Request{
+		Cycles:           predictedCycles,
+		ParallelFraction: task.ParallelFraction,
+		MemoryFloorBytes: task.MemoryBytes,
+		ColdStartProb:    1,
+	}
+	if p.ArrivalRateHint > 0 {
+		req.ColdStartProb = alloc.ColdStartProbability(p.ArrivalRateHint, p.platform.Config().KeepAlive)
+	}
+	if task.HasDeadline() && p.TimeBudgetFactor > 0 {
+		req.TimeBudget = sim.Duration(float64(task.Deadline) * p.TimeBudgetFactor)
+	}
+	return req
+}
+
+// For returns the function serving the task's application, deploying or
+// re-sizing it as needed.
+func (p *FunctionPool) For(task *model.Task, pred Predictor) (*serverless.Function, error) {
+	predicted := pred.PredictCycles(task)
+	entry, ok := p.byApp[task.App]
+	if ok {
+		if p.RedeployTolerance > 0 && drift(predicted, entry.sizedCycles) > p.RedeployTolerance {
+			if err := p.deploy(task, predicted, entry); err != nil {
+				return nil, err
+			}
+			p.redeploys++
+		}
+		return entry.fn, nil
+	}
+	entry = &poolEntry{}
+	if err := p.deploy(task, predicted, entry); err != nil {
+		return nil, err
+	}
+	p.byApp[task.App] = entry
+	return entry.fn, nil
+}
+
+func (p *FunctionPool) deploy(task *model.Task, predictedCycles float64, entry *poolEntry) error {
+	d, err := p.alloc.Choose(p.request(task, predictedCycles))
+	if err != nil {
+		return fmt.Errorf("sizing function for %s: %w", task.App, err)
+	}
+	fn, err := p.platform.Deploy(serverless.FunctionConfig{
+		Name:                   "app-" + task.App,
+		MemoryBytes:            d.MemoryBytes,
+		ProvisionedConcurrency: p.ProvisionedConcurrency,
+	})
+	if err != nil {
+		return fmt.Errorf("deploying function for %s: %w", task.App, err)
+	}
+	entry.fn = fn
+	entry.sizedCycles = predictedCycles
+	entry.sizedMem = d.MemoryBytes
+	return nil
+}
+
+// Sized returns the deployed memory size for an app, or 0 if not deployed.
+func (p *FunctionPool) Sized(app string) int64 {
+	if e, ok := p.byApp[app]; ok {
+		return e.sizedMem
+	}
+	return 0
+}
+
+func drift(now, then float64) float64 {
+	if then == 0 {
+		return 0
+	}
+	d := now/then - 1
+	if d < 0 {
+		d = -d
+	}
+	return d
+}

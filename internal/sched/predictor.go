@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"offload/internal/model"
+	"offload/internal/profile"
+	"offload/internal/rng"
+)
+
+// Predictor estimates a task's computational demand before placement. The
+// scheduler feeds back actual demands after completion, so adaptive
+// predictors converge during a run.
+type Predictor interface {
+	// PredictCycles estimates the task's demand in CPU cycles.
+	PredictCycles(task *model.Task) float64
+	// Observe reports the task's actual demand after execution.
+	Observe(task *model.Task, actualCycles float64)
+}
+
+// Exact is the oracle predictor: it returns the task's true demand. It is
+// the upper bound every learned predictor is compared against.
+type Exact struct{}
+
+var _ Predictor = Exact{}
+
+// PredictCycles implements Predictor.
+func (Exact) PredictCycles(task *model.Task) float64 { return task.Cycles }
+
+// Observe implements Predictor.
+func (Exact) Observe(*model.Task, float64) {}
+
+// PerApp learns one EWMA per application, keyed by task.App. Before the
+// first observation of an app it falls back to the task's own demand (the
+// first run of an app is always profiled in practice).
+type PerApp struct {
+	alpha float64
+	byApp map[string]*profile.EWMA
+}
+
+var _ Predictor = (*PerApp)(nil)
+
+// NewPerApp returns a PerApp predictor with EWMA smoothing alpha.
+func NewPerApp(alpha float64) *PerApp {
+	return &PerApp{alpha: alpha, byApp: make(map[string]*profile.EWMA)}
+}
+
+// PredictCycles implements Predictor.
+func (p *PerApp) PredictCycles(task *model.Task) float64 {
+	if e, ok := p.byApp[task.App]; ok && e.N() > 0 {
+		return e.Predict(task.InputBytes)
+	}
+	return task.Cycles
+}
+
+// Observe implements Predictor.
+func (p *PerApp) Observe(task *model.Task, actualCycles float64) {
+	e, ok := p.byApp[task.App]
+	if !ok {
+		e = profile.NewEWMA(p.alpha)
+		p.byApp[task.App] = e
+	}
+	e.Observe(task.InputBytes, actualCycles)
+}
+
+// Noisy wraps another predictor and perturbs every prediction with
+// multiplicative lognormal error — the injection knob for the E10
+// demand-accuracy ablation.
+type Noisy struct {
+	inner Predictor
+	meter *profile.Meter
+}
+
+var _ Predictor = (*Noisy)(nil)
+
+// NewNoisy returns a Noisy predictor with relative error relStd around
+// inner's predictions.
+func NewNoisy(inner Predictor, src *rng.Source, relStd float64) *Noisy {
+	return &Noisy{inner: inner, meter: profile.NewMeter(src, relStd)}
+}
+
+// PredictCycles implements Predictor.
+func (n *Noisy) PredictCycles(task *model.Task) float64 {
+	return n.meter.Measure(n.inner.PredictCycles(task))
+}
+
+// Observe implements Predictor.
+func (n *Noisy) Observe(task *model.Task, actualCycles float64) {
+	n.inner.Observe(task, actualCycles)
+}

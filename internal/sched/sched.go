@@ -1,0 +1,346 @@
+// Package sched contains the offloading decision engine: placement
+// policies (the static baselines and the framework's deadline-aware
+// cost-minimising policy), demand predictors, the per-application
+// serverless function pool, and the online scheduler that moves each task
+// through its uplink → execute → downlink lifecycle inside the simulation.
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"offload/internal/cloudvm"
+	"offload/internal/device"
+	"offload/internal/edge"
+	"offload/internal/model"
+	"offload/internal/network"
+	"offload/internal/serverless"
+	"offload/internal/sim"
+)
+
+// Env bundles the substrates available to a scheduler. Device is
+// mandatory; every remote substrate is optional but must come with its
+// network path.
+type Env struct {
+	Eng    *sim.Engine
+	Device *device.Device
+
+	Edge     *edge.Cluster
+	EdgePath *network.Path
+
+	Functions *FunctionPool
+	CloudPath *network.Path
+
+	VM *cloudvm.Fleet
+	// VMPath defaults to CloudPath when nil: VMs live in the same region.
+	VMPath *network.Path
+}
+
+// Validate reports whether the environment is coherent.
+func (e *Env) Validate() error {
+	switch {
+	case e == nil || e.Eng == nil:
+		return fmt.Errorf("sched: environment without engine")
+	case e.Device == nil:
+		return fmt.Errorf("sched: environment without device")
+	case e.Edge != nil && e.EdgePath == nil:
+		return fmt.Errorf("sched: edge cluster without edge path")
+	case e.Functions != nil && e.CloudPath == nil:
+		return fmt.Errorf("sched: serverless pool without cloud path")
+	case e.VM != nil && e.VMPath == nil && e.CloudPath == nil:
+		return fmt.Errorf("sched: VM fleet without any cloud path")
+	}
+	return nil
+}
+
+// vmPath returns the path used to reach the VM fleet.
+func (e *Env) vmPath() *network.Path {
+	if e.VMPath != nil {
+		return e.VMPath
+	}
+	return e.CloudPath
+}
+
+// Available lists the placements this environment can serve.
+func (e *Env) Available() []model.Placement {
+	out := []model.Placement{model.PlaceLocal}
+	if e.Edge != nil {
+		out = append(out, model.PlaceEdge)
+	}
+	if e.Functions != nil {
+		out = append(out, model.PlaceFunction)
+	}
+	if e.VM != nil {
+		out = append(out, model.PlaceVM)
+	}
+	return out
+}
+
+// Scheduler drives tasks through the environment under one policy.
+type Scheduler struct {
+	env          *Env
+	policy       Policy
+	pred         Predictor
+	stats        Stats
+	onDone       func(model.Outcome)
+	afterTask    map[model.TaskID]func(model.Outcome)
+	retry        RetryPolicy
+	dvfsMinScale float64 // 0 disables per-task DVFS
+	attempts     map[model.TaskID]int
+	// sunk accumulates money and energy spent by failed attempts so the
+	// final outcome reports the true total.
+	sunkUSD map[model.TaskID]float64
+	sunkMJ  map[model.TaskID]float64
+}
+
+// RetryPolicy re-dispatches tasks that failed with a transient
+// infrastructure error. MaxAttempts counts all tries (1 disables retries);
+// Backoff delays each re-dispatch and doubles per attempt.
+type RetryPolicy struct {
+	MaxAttempts int
+	Backoff     sim.Duration
+}
+
+// Option configures a Scheduler.
+type Option func(*Scheduler)
+
+// WithOutcomeHook registers fn to receive every completed outcome, for
+// tracing or custom aggregation.
+func WithOutcomeHook(fn func(model.Outcome)) Option {
+	return func(s *Scheduler) { s.onDone = fn }
+}
+
+// WithRetries enables transparent retries of transient failures.
+func WithRetries(rp RetryPolicy) Option {
+	return func(s *Scheduler) { s.retry = rp }
+}
+
+// WithLocalDVFS makes local executions of deadline-carrying tasks run at
+// the slowest frequency that still meets the deadline (floored at
+// minScale), instead of racing to idle at full speed. Delay-tolerant
+// tasks without a deadline run at minScale. Energy scales with frequency,
+// so this is the local-execution analogue of offloading's cost savings.
+func WithLocalDVFS(minScale float64) Option {
+	return func(s *Scheduler) { s.dvfsMinScale = minScale }
+}
+
+// New returns a scheduler. It errors on an incoherent environment or a
+// policy that targets a substrate the environment lacks.
+func New(env *Env, policy Policy, pred Predictor, opts ...Option) (*Scheduler, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("sched: nil policy")
+	}
+	if pred == nil {
+		pred = Exact{}
+	}
+	s := &Scheduler{env: env, policy: policy, pred: pred,
+		afterTask: make(map[model.TaskID]func(model.Outcome)),
+		attempts:  make(map[model.TaskID]int),
+		sunkUSD:   make(map[model.TaskID]float64),
+		sunkMJ:    make(map[model.TaskID]float64)}
+	s.stats.init()
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// Policy returns the scheduler's policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// Stats returns the accumulated statistics.
+func (s *Scheduler) Stats() *Stats { return &s.stats }
+
+// Submit routes one task according to the policy. The outcome lands in
+// Stats (and the outcome hook) when the task's results are back on the
+// device.
+func (s *Scheduler) Submit(task *model.Task) {
+	if err := task.Validate(); err != nil {
+		s.finish(model.Outcome{Task: task, Started: s.env.Eng.Now(), Finished: s.env.Eng.Now(), Failed: true})
+		return
+	}
+	task.Submitted = s.env.Eng.Now()
+	placement := s.policy.Decide(task, s.env, s.pred)
+	s.Dispatch(task, placement)
+}
+
+// Dispatch runs the task at an explicit placement, bypassing the policy.
+// The Batcher uses this to realise its own placement decisions.
+func (s *Scheduler) Dispatch(task *model.Task, placement model.Placement) {
+	switch placement {
+	case model.PlaceLocal:
+		s.runLocal(task)
+	case model.PlaceEdge:
+		if s.env.Edge == nil {
+			s.fail(task, placement)
+			return
+		}
+		s.runRemote(task, placement, s.env.Edge, s.env.EdgePath)
+	case model.PlaceFunction:
+		if s.env.Functions == nil {
+			s.fail(task, placement)
+			return
+		}
+		fn, err := s.env.Functions.For(task, s.pred)
+		if err != nil {
+			s.fail(task, placement)
+			return
+		}
+		s.runRemote(task, placement, fn, s.env.CloudPath)
+	case model.PlaceVM:
+		if s.env.VM == nil {
+			s.fail(task, placement)
+			return
+		}
+		s.runRemote(task, placement, s.env.VM, s.env.vmPath())
+	default:
+		s.fail(task, placement)
+	}
+}
+
+func (s *Scheduler) fail(task *model.Task, placement model.Placement) {
+	now := s.env.Eng.Now()
+	s.finish(model.Outcome{
+		Task: task, Placement: placement,
+		Started: task.Submitted, Finished: now, Failed: true,
+	})
+}
+
+func (s *Scheduler) runLocal(task *model.Task) {
+	start := task.Submitted
+	dev := s.env.Device
+	// Default to the device-wide DVFS setting; per-task DVFS overrides it.
+	scale := dev.EffectiveHz() / dev.Config().CPUHz
+	if s.dvfsMinScale > 0 {
+		scale = s.dvfsScale(task)
+	}
+	// Energy at the chosen frequency: P ∝ f², t ∝ 1/f ⇒ E ∝ f.
+	energy := dev.Config().ActivePowerW * scale * task.Cycles / dev.Config().CPUHz * 1000
+	dev.ExecuteScaled(task, scale, func(rep model.ExecReport) {
+		o := model.Outcome{
+			Task:      task,
+			Placement: model.PlaceLocal,
+			Started:   start,
+			Finished:  s.env.Eng.Now(),
+			Exec:      rep,
+			Failed:    rep.Err != nil,
+		}
+		if rep.Err == nil {
+			o.EnergyMilliJ = energy
+		}
+		s.finish(o)
+	})
+}
+
+// dvfsScale picks the slowest frequency that still meets the task's
+// deadline with a 20% safety margin; tasks without deadlines run at the
+// floor.
+func (s *Scheduler) dvfsScale(task *model.Task) float64 {
+	minScale := s.dvfsMinScale
+	if minScale > 1 {
+		minScale = 1
+	}
+	if !task.HasDeadline() {
+		return minScale
+	}
+	budget := float64(task.Deadline) * 0.8
+	if budget <= 0 {
+		return 1
+	}
+	needed := task.Cycles / (s.env.Device.Config().CPUHz * budget)
+	switch {
+	case needed >= 1:
+		return 1
+	case needed < minScale:
+		return minScale
+	default:
+		return needed
+	}
+}
+
+func (s *Scheduler) runRemote(task *model.Task, placement model.Placement, exec model.Executor, path *network.Path) {
+	start := task.Submitted
+	var o model.Outcome
+	o.Task = task
+	o.Placement = placement
+	o.Started = start
+	path.Transfer(task.InputBytes, network.Uplink, func(up network.Report) {
+		o.UplinkTime = up.Duration()
+		o.EnergyMilliJ += s.env.Device.RadioEnergyMilliJ(up.Duration(), true)
+		exec.Execute(task, func(rep model.ExecReport) {
+			o.Exec = rep
+			o.CostUSD += rep.CostUSD
+			if rep.Err != nil {
+				o.Failed = true
+				o.Finished = s.env.Eng.Now()
+				s.finish(o)
+				return
+			}
+			path.Transfer(task.OutputBytes, network.Downlink, func(down network.Report) {
+				o.DownlinkTime = down.Duration()
+				o.EnergyMilliJ += s.env.Device.RadioEnergyMilliJ(down.Duration(), false)
+				o.Finished = s.env.Eng.Now()
+				s.finish(o)
+			})
+		})
+	})
+}
+
+// DispatchThen runs the task at an explicit placement and invokes then
+// once the outcome is recorded, in addition to the scheduler-wide hook.
+func (s *Scheduler) DispatchThen(task *model.Task, placement model.Placement, then func(model.Outcome)) {
+	if then != nil {
+		s.afterTask[task.ID] = then
+	}
+	s.Dispatch(task, placement)
+}
+
+func (s *Scheduler) finish(o model.Outcome) {
+	if o.Task != nil && o.Failed && s.shouldRetry(o) {
+		n := s.attempts[o.Task.ID] + 1
+		s.attempts[o.Task.ID] = n
+		s.sunkUSD[o.Task.ID] += o.CostUSD
+		s.sunkMJ[o.Task.ID] += o.EnergyMilliJ
+		s.stats.Retries++
+		backoff := sim.Duration(float64(s.retry.Backoff) * float64(int(1)<<(n-1)))
+		task, placement := o.Task, o.Placement
+		s.env.Eng.After(backoff, func() { s.Dispatch(task, placement) })
+		return
+	}
+	if o.Task != nil {
+		o.Attempts = s.attempts[o.Task.ID] + 1
+		o.CostUSD += s.sunkUSD[o.Task.ID]
+		o.EnergyMilliJ += s.sunkMJ[o.Task.ID]
+		delete(s.attempts, o.Task.ID)
+		delete(s.sunkUSD, o.Task.ID)
+		delete(s.sunkMJ, o.Task.ID)
+	}
+	if o.Task != nil && !o.Failed {
+		s.pred.Observe(o.Task, o.Task.Cycles)
+	}
+	s.stats.record(o)
+	if s.onDone != nil {
+		s.onDone(o)
+	}
+	if o.Task != nil {
+		if cb, ok := s.afterTask[o.Task.ID]; ok {
+			delete(s.afterTask, o.Task.ID)
+			cb(o)
+		}
+	}
+}
+
+// shouldRetry reports whether the failed outcome is worth another try:
+// a transient infrastructure error with attempts remaining.
+func (s *Scheduler) shouldRetry(o model.Outcome) bool {
+	if s.retry.MaxAttempts <= 1 {
+		return false
+	}
+	if !errors.Is(o.Exec.Err, serverless.ErrTransient) {
+		return false
+	}
+	return s.attempts[o.Task.ID]+1 < s.retry.MaxAttempts
+}

@@ -1,0 +1,81 @@
+package sched
+
+import (
+	"offload/internal/metrics"
+	"offload/internal/model"
+)
+
+// Stats aggregates outcomes for one scheduler run: completion-time
+// distribution, money, energy, deadline misses and a per-placement
+// breakdown. The benchmark harness reads these to print its tables.
+type Stats struct {
+	Completion *metrics.Histogram
+	Uplink     metrics.Summary
+	Downlink   metrics.Summary
+
+	Completed uint64
+	Failed    uint64
+	Missed    uint64 // completed but past deadline
+	Retries   uint64 // re-dispatches after transient failures
+
+	CostUSD      float64
+	EnergyMilliJ float64
+
+	ByPlacement map[model.Placement]uint64
+}
+
+func (s *Stats) init() {
+	s.Completion = metrics.NewLatencyHistogram()
+	s.ByPlacement = make(map[model.Placement]uint64)
+}
+
+func (s *Stats) record(o model.Outcome) {
+	if o.Failed {
+		s.Failed++
+		return
+	}
+	s.Completed++
+	s.Completion.Observe(float64(o.CompletionTime()))
+	s.Uplink.Observe(float64(o.UplinkTime))
+	s.Downlink.Observe(float64(o.DownlinkTime))
+	s.CostUSD += o.CostUSD
+	s.EnergyMilliJ += o.EnergyMilliJ
+	s.ByPlacement[o.Placement]++
+	if o.MissedDeadline() {
+		s.Missed++
+	}
+}
+
+// Total returns completed + failed task count.
+func (s *Stats) Total() uint64 { return s.Completed + s.Failed }
+
+// MissRate returns the fraction of completed tasks that missed their
+// deadline, or 0 if nothing completed.
+func (s *Stats) MissRate() float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	return float64(s.Missed) / float64(s.Completed)
+}
+
+// MeanCompletion returns the mean completion time in seconds.
+func (s *Stats) MeanCompletion() float64 { return s.Completion.Mean() }
+
+// P95Completion returns the 95th-percentile completion time in seconds.
+func (s *Stats) P95Completion() float64 { return s.Completion.Quantile(0.95) }
+
+// CostPerTask returns mean dollars per completed task, or 0 if none.
+func (s *Stats) CostPerTask() float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	return s.CostUSD / float64(s.Completed)
+}
+
+// EnergyPerTaskMilliJ returns mean device energy per completed task.
+func (s *Stats) EnergyPerTaskMilliJ() float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	return s.EnergyMilliJ / float64(s.Completed)
+}

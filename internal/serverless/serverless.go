@@ -1,0 +1,687 @@
+// Package serverless simulates a Function-as-a-Service platform with the
+// characteristics that drive the paper's resource-allocation problem:
+//
+//   - CPU proportional to the configured memory size (as on AWS Lambda,
+//     where 1769 MB buys one full vCPU), with Amdahl-limited speedup above
+//     one vCPU for mostly-serial code;
+//   - cold starts, mitigated by a keep-alive container pool;
+//   - per-request plus GB-second billing with a billing granularity;
+//   - an account-level concurrency limit with asynchronous queueing.
+//
+// The simulator reproduces the time/cost response surface an allocator
+// optimises over; absolute prices follow a Lambda-like public price sheet.
+package serverless
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"offload/internal/model"
+	"offload/internal/rng"
+	"offload/internal/sim"
+)
+
+// Errors reported in ExecReport.Err.
+var (
+	// ErrOutOfMemory is reported when a task's working set exceeds the
+	// function's configured memory.
+	ErrOutOfMemory = errors.New("serverless: task exceeds function memory")
+	// ErrTimedOut is reported when execution exceeds the function timeout.
+	ErrTimedOut = errors.New("serverless: execution exceeded function timeout")
+	// ErrNotDeployed is reported when invoking an undeployed function.
+	ErrNotDeployed = errors.New("serverless: function not deployed")
+	// ErrTransient is an injected infrastructure failure (a crashed
+	// container, a dropped invocation). Callers should retry.
+	ErrTransient = errors.New("serverless: transient invocation failure")
+)
+
+// PriceTable describes the platform's billing model, optionally with a
+// diurnal off-peak discount — the spot-market-like lever that makes
+// delay-tolerant scheduling pay (experiment E11).
+type PriceTable struct {
+	PerRequestUSD  float64      // flat charge per invocation
+	PerGBSecondUSD float64      // charge per GB of memory per billed second
+	Granularity    sim.Duration // billed duration is rounded up to this
+	MinBilled      sim.Duration // floor on the billed duration
+
+	// Off-peak pricing: between OffPeakStartHour and OffPeakEndHour on the
+	// virtual 24 h clock the GB-second rate is multiplied by
+	// OffPeakFactor. The window may wrap midnight (start 22, end 6).
+	// A zero factor disables the schedule.
+	OffPeakFactor    float64
+	OffPeakStartHour float64
+	OffPeakEndHour   float64
+
+	// ProvisionedGBSecondUSD is the capacity fee for provisioned
+	// concurrency, charged per GB per wall-clock second whether or not the
+	// warm capacity serves traffic.
+	ProvisionedGBSecondUSD float64
+}
+
+// Validate reports whether the price table is usable.
+func (p PriceTable) Validate() error {
+	switch {
+	case p.PerRequestUSD < 0 || p.PerGBSecondUSD < 0:
+		return fmt.Errorf("serverless: negative price")
+	case p.Granularity <= 0:
+		return fmt.Errorf("serverless: billing granularity must be positive")
+	case p.MinBilled < 0:
+		return fmt.Errorf("serverless: negative minimum billed duration")
+	case p.OffPeakFactor < 0:
+		return fmt.Errorf("serverless: negative off-peak factor")
+	case p.OffPeakFactor > 0 && (p.OffPeakStartHour < 0 || p.OffPeakStartHour >= 24 ||
+		p.OffPeakEndHour < 0 || p.OffPeakEndHour >= 24):
+		return fmt.Errorf("serverless: off-peak hours outside [0, 24)")
+	case p.OffPeakFactor > 0 && p.OffPeakStartHour == p.OffPeakEndHour:
+		return fmt.Errorf("serverless: empty off-peak window")
+	case p.ProvisionedGBSecondUSD < 0:
+		return fmt.Errorf("serverless: negative provisioned-capacity price")
+	}
+	return nil
+}
+
+// HasOffPeak reports whether a diurnal discount is configured.
+func (p PriceTable) HasOffPeak() bool {
+	return p.OffPeakFactor > 0 && p.OffPeakFactor != 1
+}
+
+// InOffPeak reports whether the virtual instant falls in the discount
+// window.
+func (p PriceTable) InOffPeak(at sim.Time) bool {
+	if !p.HasOffPeak() {
+		return false
+	}
+	hour := math.Mod(float64(at)/3600, 24)
+	if hour < 0 {
+		hour += 24
+	}
+	if p.OffPeakStartHour < p.OffPeakEndHour {
+		return hour >= p.OffPeakStartHour && hour < p.OffPeakEndHour
+	}
+	return hour >= p.OffPeakStartHour || hour < p.OffPeakEndHour
+}
+
+// NextOffPeakStart returns the earliest instant at or after `at` that is
+// inside the discount window. Without a schedule it returns `at`.
+func (p PriceTable) NextOffPeakStart(at sim.Time) sim.Time {
+	if !p.HasOffPeak() || p.InOffPeak(at) {
+		return at
+	}
+	hour := math.Mod(float64(at)/3600, 24)
+	wait := p.OffPeakStartHour - hour
+	if wait < 0 {
+		wait += 24
+	}
+	// Nudge a few milliseconds into the window so floating-point error at
+	// large virtual times cannot land the result just before the boundary.
+	wait += 1e-6
+	return at.Add(sim.Duration(wait * 3600))
+}
+
+// Bill returns the peak-rate charge for one invocation of a function with
+// memBytes of memory that ran for d. Planners use it as the conservative
+// (worst-case) price; BillAt applies the time-of-day schedule.
+func (p PriceTable) Bill(memBytes int64, d sim.Duration) float64 {
+	return p.billWith(memBytes, d, 1)
+}
+
+// BillAt returns the charge with the time-of-day discount that applies at
+// the given instant (invocations are priced by their start time).
+func (p PriceTable) BillAt(memBytes int64, d sim.Duration, at sim.Time) float64 {
+	factor := 1.0
+	if p.InOffPeak(at) {
+		factor = p.OffPeakFactor
+	}
+	return p.billWith(memBytes, d, factor)
+}
+
+func (p PriceTable) billWith(memBytes int64, d sim.Duration, factor float64) float64 {
+	billed := d
+	if billed < p.MinBilled {
+		billed = p.MinBilled
+	}
+	units := math.Ceil(float64(billed) / float64(p.Granularity))
+	billedSec := units * float64(p.Granularity)
+	gb := float64(memBytes) / float64(model.GB)
+	return p.PerRequestUSD + gb*billedSec*p.PerGBSecondUSD*factor
+}
+
+// ColdStartModel describes environment-provisioning delay: lognormal with
+// the given median and dispersion, plus a per-MB code/runtime factor.
+type ColdStartModel struct {
+	MedianSec  float64 // median cold start in seconds
+	Sigma      float64 // lognormal dispersion
+	PerGBExtra float64 // additional seconds per GB of function memory
+}
+
+// Validate reports whether the model is usable.
+func (c ColdStartModel) Validate() error {
+	if c.MedianSec < 0 || c.Sigma < 0 || c.PerGBExtra < 0 {
+		return fmt.Errorf("serverless: negative cold-start parameter")
+	}
+	return nil
+}
+
+// sample draws one cold-start duration for a function with memBytes memory.
+func (c ColdStartModel) sample(src *rng.Source, memBytes int64) sim.Duration {
+	if c.MedianSec == 0 {
+		return 0
+	}
+	base := src.LogNormal(math.Log(c.MedianSec), c.Sigma)
+	extra := c.PerGBExtra * float64(memBytes) / float64(model.GB)
+	return sim.Duration(base + extra)
+}
+
+// Config describes a serverless platform.
+type Config struct {
+	Name string
+
+	// MinMemory, MaxMemory and MemoryStep define the allowed memory ladder.
+	MinMemory  int64
+	MaxMemory  int64
+	MemoryStep int64
+
+	// BaselineHz is the cycle rate of one full vCPU. FullShareBytes is the
+	// memory size that buys exactly one vCPU; CPU share scales linearly
+	// with memory and is capped at MaxShare vCPUs.
+	BaselineHz     float64
+	FullShareBytes int64
+	MaxShare       float64
+
+	ColdStart ColdStartModel
+	KeepAlive sim.Duration // idle-container lifetime
+
+	// ConcurrencyLimit is the account-wide cap on simultaneously running
+	// containers. Excess asynchronous invocations queue FIFO.
+	ConcurrencyLimit int
+
+	// DefaultTimeout aborts executions that run longer. Zero disables.
+	DefaultTimeout sim.Duration
+
+	// Memory pressure: when a task's working set fills more than
+	// 1/PressureKneeRatio of the function's memory, execution slows down
+	// quadratically (GC thrash, paging), up to 1+PressurePenalty at a
+	// just-fitting working set. This is what makes the cost-vs-memory
+	// curve U-shaped and gives the allocator a real optimum to find.
+	// PressureKneeRatio <= 1 or PressurePenalty = 0 disables the effect.
+	PressureKneeRatio float64
+	PressurePenalty   float64
+
+	// FailureRate is the probability an invocation dies with ErrTransient
+	// partway through execution (still billed for the time consumed, as
+	// real platforms do). Zero disables failure injection.
+	FailureRate float64
+
+	Price PriceTable
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.MinMemory <= 0 || c.MaxMemory < c.MinMemory:
+		return fmt.Errorf("serverless: %s: bad memory range [%d, %d]", c.Name, c.MinMemory, c.MaxMemory)
+	case c.MemoryStep <= 0:
+		return fmt.Errorf("serverless: %s: memory step must be positive", c.Name)
+	case c.BaselineHz <= 0:
+		return fmt.Errorf("serverless: %s: baseline CPU must be positive", c.Name)
+	case c.FullShareBytes <= 0:
+		return fmt.Errorf("serverless: %s: full-share memory must be positive", c.Name)
+	case c.MaxShare <= 0:
+		return fmt.Errorf("serverless: %s: max CPU share must be positive", c.Name)
+	case c.ConcurrencyLimit <= 0:
+		return fmt.Errorf("serverless: %s: concurrency limit must be positive", c.Name)
+	case c.KeepAlive < 0:
+		return fmt.Errorf("serverless: %s: negative keep-alive", c.Name)
+	case c.DefaultTimeout < 0:
+		return fmt.Errorf("serverless: %s: negative timeout", c.Name)
+	case c.PressurePenalty < 0:
+		return fmt.Errorf("serverless: %s: negative pressure penalty", c.Name)
+	case c.FailureRate < 0 || c.FailureRate >= 1:
+		return fmt.Errorf("serverless: %s: failure rate %g outside [0,1)", c.Name, c.FailureRate)
+	}
+	if err := c.Price.Validate(); err != nil {
+		return err
+	}
+	return c.ColdStart.Validate()
+}
+
+// LambdaLike returns a configuration calibrated to the published
+// characteristics of AWS Lambda (2022-era): 128 MB–10 GB in 64 MB steps,
+// one vCPU at 1769 MB (up to 6), ~250 ms median cold start, $0.20 per
+// million requests and $0.0000166667 per GB-second billed at 1 ms
+// granularity, 1000 concurrent executions.
+func LambdaLike() Config {
+	return Config{
+		Name:              "lambda-like",
+		MinMemory:         128 * model.MB,
+		MaxMemory:         10240 * model.MB,
+		MemoryStep:        64 * model.MB,
+		BaselineHz:        2.5 * model.GHz,
+		FullShareBytes:    1769 * model.MB,
+		MaxShare:          6,
+		ColdStart:         ColdStartModel{MedianSec: 0.25, Sigma: 0.35, PerGBExtra: 0.05},
+		KeepAlive:         sim.Duration(7 * 60), // ~7 minutes, within reported 5–15
+		ConcurrencyLimit:  1000,
+		DefaultTimeout:    sim.Duration(15 * 60),
+		PressureKneeRatio: 2.0,
+		PressurePenalty:   1.5,
+		Price: PriceTable{
+			PerRequestUSD:          0.20 / 1e6,
+			PerGBSecondUSD:         0.0000166667,
+			Granularity:            0.001,
+			MinBilled:              0.001,
+			ProvisionedGBSecondUSD: 0.0000041667,
+		},
+	}
+}
+
+// GCFLike returns a configuration in the style of first-generation Google
+// Cloud Functions: a coarser memory ladder (fixed tiers approximated as
+// 256 MB steps), a full vCPU at 2048 MB, slower and more variable cold
+// starts, a generous 15-minute keep-alive — and, crucially, **100 ms
+// billing granularity**, which penalises sub-100 ms invocations that the
+// Lambda-like 1 ms granularity bills almost nothing for (experiment E16).
+func GCFLike() Config {
+	return Config{
+		Name:              "gcf-like",
+		MinMemory:         256 * model.MB,
+		MaxMemory:         8192 * model.MB,
+		MemoryStep:        256 * model.MB,
+		BaselineHz:        2.4 * model.GHz,
+		FullShareBytes:    2048 * model.MB,
+		MaxShare:          4,
+		ColdStart:         ColdStartModel{MedianSec: 0.5, Sigma: 0.5, PerGBExtra: 0.1},
+		KeepAlive:         sim.Duration(15 * 60),
+		ConcurrencyLimit:  1000,
+		DefaultTimeout:    sim.Duration(9 * 60),
+		PressureKneeRatio: 2.0,
+		PressurePenalty:   1.5,
+		Price: PriceTable{
+			PerRequestUSD:          0.40 / 1e6,
+			PerGBSecondUSD:         0.0000165,
+			Granularity:            0.1, // 100 ms
+			MinBilled:              0.1,
+			ProvisionedGBSecondUSD: 0.0000060,
+		},
+	}
+}
+
+// MemoryLadder returns the allowed memory sizes in ascending order.
+func (c Config) MemoryLadder() []int64 {
+	var ladder []int64
+	for m := c.MinMemory; m <= c.MaxMemory; m += c.MemoryStep {
+		ladder = append(ladder, m)
+	}
+	return ladder
+}
+
+// CPUShare returns the number of vCPUs a function with memBytes receives.
+func (c Config) CPUShare(memBytes int64) float64 {
+	share := float64(memBytes) / float64(c.FullShareBytes)
+	return math.Min(share, c.MaxShare)
+}
+
+// PressureSlowdown returns the execution-time multiplier from memory
+// pressure when a task with the given working set runs in memBytes of
+// memory. It is 1 with ample headroom and rises quadratically to
+// 1+PressurePenalty as the working set approaches the full memory size.
+func (c Config) PressureSlowdown(workingSet, memBytes int64) float64 {
+	if workingSet <= 0 || c.PressurePenalty == 0 || c.PressureKneeRatio <= 1 {
+		return 1
+	}
+	ratio := float64(memBytes) / float64(workingSet)
+	if ratio >= c.PressureKneeRatio {
+		return 1
+	}
+	// ratio in [1, knee): 0 tightness at the knee, 1 at a just-fitting set.
+	tight := (c.PressureKneeRatio - ratio) / (c.PressureKneeRatio - 1)
+	if tight > 1 {
+		tight = 1
+	}
+	return 1 + c.PressurePenalty*tight*tight
+}
+
+// ExecTime returns how long a task runs on a function with memBytes of
+// memory: linear slowdown below one vCPU, Amdahl-limited speedup above
+// it, and a memory-pressure penalty when the working set barely fits.
+func (c Config) ExecTime(task *model.Task, memBytes int64) sim.Duration {
+	share := c.CPUShare(memBytes)
+	serialTime := task.Cycles / c.BaselineHz
+	slow := c.PressureSlowdown(task.MemoryBytes, memBytes)
+	if share <= 1 {
+		return sim.Duration(serialTime * slow / share)
+	}
+	p := task.ParallelFraction
+	speedup := 1 / ((1 - p) + p/share)
+	return sim.Duration(serialTime * slow / speedup)
+}
+
+// Platform is a live serverless region bound to a simulation engine.
+type Platform struct {
+	eng *sim.Engine
+	src *rng.Source
+	cfg Config
+
+	functions map[string]*Function
+	slots     *sim.Resource // account concurrency
+
+	// retiredProvisionedUSD keeps capacity fees of removed functions.
+	retiredProvisionedUSD float64
+
+	stats Stats
+}
+
+// Stats aggregates platform activity.
+type Stats struct {
+	Invocations uint64
+	ColdStarts  uint64
+	WarmStarts  uint64
+	Errors      uint64
+	BilledUSD   float64
+}
+
+// NewPlatform returns a platform on eng. It panics on invalid config.
+func NewPlatform(eng *sim.Engine, src *rng.Source, cfg Config) *Platform {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Platform{
+		eng:       eng,
+		src:       src,
+		cfg:       cfg,
+		functions: make(map[string]*Function),
+		slots:     sim.NewResource(eng, cfg.Name+"/concurrency", cfg.ConcurrencyLimit),
+	}
+}
+
+// Config returns the platform configuration.
+func (p *Platform) Config() Config { return p.cfg }
+
+// Stats returns cumulative activity counters.
+func (p *Platform) Stats() Stats { return p.stats }
+
+// FunctionConfig describes one deployed function.
+type FunctionConfig struct {
+	Name        string
+	MemoryBytes int64
+	// Timeout overrides the platform default when positive.
+	Timeout sim.Duration
+	// ProvisionedConcurrency keeps this many execution environments warm
+	// at all times: invocations taking one skip the cold start, and the
+	// capacity bills Price.ProvisionedGBSecondUSD per GB-second of wall
+	// time whether used or not.
+	ProvisionedConcurrency int
+}
+
+// Deploy registers (or re-configures) a function. Memory is clamped to the
+// ladder: it must lie within [MinMemory, MaxMemory] and on a step boundary.
+func (p *Platform) Deploy(fc FunctionConfig) (*Function, error) {
+	if fc.Name == "" {
+		return nil, fmt.Errorf("serverless: function with empty name")
+	}
+	if fc.MemoryBytes < p.cfg.MinMemory || fc.MemoryBytes > p.cfg.MaxMemory {
+		return nil, fmt.Errorf("serverless: function %s memory %d outside [%d, %d]",
+			fc.Name, fc.MemoryBytes, p.cfg.MinMemory, p.cfg.MaxMemory)
+	}
+	if (fc.MemoryBytes-p.cfg.MinMemory)%p.cfg.MemoryStep != 0 {
+		return nil, fmt.Errorf("serverless: function %s memory %d not on a %d-byte step",
+			fc.Name, fc.MemoryBytes, p.cfg.MemoryStep)
+	}
+	if fc.Timeout < 0 {
+		return nil, fmt.Errorf("serverless: function %s negative timeout", fc.Name)
+	}
+	if fc.ProvisionedConcurrency < 0 {
+		return nil, fmt.Errorf("serverless: function %s negative provisioned concurrency", fc.Name)
+	}
+	if f, ok := p.functions[fc.Name]; ok {
+		// Re-deploy: new configuration, existing warm containers discarded
+		// (as real platforms do on configuration change).
+		f.accrueProvisioned()
+		f.cfg = fc
+		f.discardWarm()
+		f.generation++
+		return f, nil
+	}
+	f := &Function{platform: p, cfg: fc, provisionedSince: p.eng.Now()}
+	p.functions[fc.Name] = f
+	return f, nil
+}
+
+// Remove deletes a function. Invoking it afterwards fails.
+func (p *Platform) Remove(name string) {
+	if f, ok := p.functions[name]; ok {
+		f.accrueProvisioned()
+		p.retiredProvisionedUSD += f.provisionedUSD
+		f.cfg.ProvisionedConcurrency = 0
+		f.discardWarm()
+		f.removed = true
+		delete(p.functions, name)
+	}
+}
+
+// ProvisionedCostUSD returns capacity fees accrued by every function's
+// provisioned concurrency up to now, including removed functions.
+func (p *Platform) ProvisionedCostUSD() float64 {
+	total := p.retiredProvisionedUSD
+	for _, f := range p.functions {
+		total += f.ProvisionedCostUSD()
+	}
+	return total
+}
+
+// Function returns the deployed function by name, or nil.
+func (p *Platform) Function(name string) *Function {
+	return p.functions[name]
+}
+
+// Function is one deployed serverless function. It implements
+// model.Executor, so schedulers can target it directly.
+type Function struct {
+	platform   *Platform
+	cfg        FunctionConfig
+	warm       []*container
+	removed    bool
+	generation int
+
+	invocations uint64
+	coldStarts  uint64
+	billedUSD   float64
+
+	// Provisioned-concurrency accounting.
+	provisionedBusy  int
+	provisionedSince sim.Time
+	provisionedUSD   float64 // accrued capacity fees
+}
+
+var _ model.Executor = (*Function)(nil)
+
+type container struct {
+	expiry *sim.Event
+}
+
+// Name returns the function name.
+func (f *Function) Name() string { return f.cfg.Name }
+
+// Placement returns model.PlaceFunction.
+func (f *Function) Placement() model.Placement { return model.PlaceFunction }
+
+// MemoryBytes returns the configured memory size.
+func (f *Function) MemoryBytes() int64 { return f.cfg.MemoryBytes }
+
+// Invocations returns how many invocations this function served.
+func (f *Function) Invocations() uint64 { return f.invocations }
+
+// ColdStarts returns how many invocations paid a cold start.
+func (f *Function) ColdStarts() uint64 { return f.coldStarts }
+
+// BilledUSD returns the money billed to this function so far.
+func (f *Function) BilledUSD() float64 { return f.billedUSD }
+
+// WarmContainers returns the current number of idle warm containers.
+func (f *Function) WarmContainers() int { return len(f.warm) }
+
+// accrueProvisioned folds the capacity fee up to now into provisionedUSD.
+func (f *Function) accrueProvisioned() {
+	n := f.cfg.ProvisionedConcurrency
+	rate := f.platform.cfg.Price.ProvisionedGBSecondUSD
+	if n > 0 && rate > 0 {
+		gb := float64(f.cfg.MemoryBytes) / float64(model.GB)
+		elapsed := float64(f.platform.eng.Now().Sub(f.provisionedSince))
+		f.provisionedUSD += float64(n) * gb * elapsed * rate
+	}
+	f.provisionedSince = f.platform.eng.Now()
+}
+
+// ProvisionedCostUSD returns the capacity fees accrued by this function's
+// provisioned concurrency up to the current virtual time.
+func (f *Function) ProvisionedCostUSD() float64 {
+	f.accrueProvisioned()
+	return f.provisionedUSD
+}
+
+func (f *Function) discardWarm() {
+	for _, c := range f.warm {
+		f.platform.eng.Cancel(c.expiry)
+	}
+	f.warm = nil
+}
+
+// takeWarm pops a warm container if one exists, cancelling its expiry.
+func (f *Function) takeWarm() bool {
+	for len(f.warm) > 0 {
+		c := f.warm[len(f.warm)-1]
+		f.warm = f.warm[:len(f.warm)-1]
+		f.platform.eng.Cancel(c.expiry)
+		return true
+	}
+	return false
+}
+
+// parkWarm returns a container to the pool and schedules its expiry.
+func (f *Function) parkWarm() {
+	if f.removed || f.platform.cfg.KeepAlive == 0 {
+		return
+	}
+	c := &container{}
+	gen := f.generation
+	c.expiry = f.platform.eng.After(f.platform.cfg.KeepAlive, func() {
+		if f.generation != gen {
+			return
+		}
+		for i, w := range f.warm {
+			if w == c {
+				f.warm = append(f.warm[:i], f.warm[i+1:]...)
+				return
+			}
+		}
+	})
+	f.warm = append(f.warm, c)
+}
+
+// timeout returns the effective execution timeout.
+func (f *Function) timeout() sim.Duration {
+	if f.cfg.Timeout > 0 {
+		return f.cfg.Timeout
+	}
+	return f.platform.cfg.DefaultTimeout
+}
+
+// Execute implements model.Executor: it queues on the account concurrency
+// limit, pays a cold start unless a warm container is available, runs the
+// task, bills it, and parks the container for reuse.
+func (f *Function) Execute(task *model.Task, done func(model.ExecReport)) {
+	if done == nil {
+		panic("serverless: Execute with nil callback")
+	}
+	p := f.platform
+	start := p.eng.Now()
+	fail := func(err error) {
+		p.stats.Errors++
+		p.eng.After(0, func() {
+			done(model.ExecReport{Start: start, End: p.eng.Now(), Err: err})
+		})
+	}
+	if f.removed || p.functions[f.cfg.Name] != f {
+		fail(ErrNotDeployed)
+		return
+	}
+	if task.MemoryBytes > f.cfg.MemoryBytes {
+		fail(fmt.Errorf("%w: need %d, have %d", ErrOutOfMemory, task.MemoryBytes, f.cfg.MemoryBytes))
+		return
+	}
+
+	p.slots.Acquire(func() {
+		granted := p.eng.Now()
+		var cold sim.Duration
+		usedProvisioned := false
+		switch {
+		case f.provisionedBusy < f.cfg.ProvisionedConcurrency:
+			f.provisionedBusy++
+			usedProvisioned = true
+			p.stats.WarmStarts++
+		case f.takeWarm():
+			p.stats.WarmStarts++
+		default:
+			cold = p.cfg.ColdStart.sample(p.src, f.cfg.MemoryBytes)
+			f.coldStarts++
+			p.stats.ColdStarts++
+		}
+		exec := p.cfg.ExecTime(task, f.cfg.MemoryBytes)
+		timedOut := false
+		if to := f.timeout(); to > 0 && exec > to {
+			exec = to
+			timedOut = true
+		}
+		// Injected infrastructure failure: the container dies a uniform
+		// fraction of the way through execution.
+		crashed := p.cfg.FailureRate > 0 && p.src.Bool(p.cfg.FailureRate)
+		if crashed {
+			exec = sim.Duration(float64(exec) * p.src.Float64())
+			timedOut = false
+		}
+		p.eng.After(cold+exec, func() {
+			p.slots.Release()
+			switch {
+			case usedProvisioned:
+				// The environment returns to the provisioned pool (the
+				// platform replaces crashed provisioned environments).
+				f.provisionedBusy--
+			case crashed:
+				// A crashed container is not returned to the warm pool.
+			default:
+				f.parkWarm()
+			}
+			f.invocations++
+			p.stats.Invocations++
+			// Billed duration includes initialisation, as on-demand billing
+			// does for container runtimes; cost accrues even for timeouts
+			// and crashes. Pricing follows the invocation's start time.
+			cost := p.cfg.Price.BillAt(f.cfg.MemoryBytes, cold+exec, granted)
+			f.billedUSD += cost
+			p.stats.BilledUSD += cost
+			rep := model.ExecReport{
+				Start:     start,
+				End:       p.eng.Now(),
+				QueueWait: granted.Sub(start),
+				ColdStart: cold,
+				CostUSD:   cost,
+			}
+			if timedOut {
+				rep.Err = ErrTimedOut
+				p.stats.Errors++
+			}
+			if crashed {
+				rep.Err = ErrTransient
+				p.stats.Errors++
+			}
+			done(rep)
+		})
+	})
+}
+
+// RunningSlots returns the number of concurrency slots in use.
+func (p *Platform) RunningSlots() int { return p.slots.InUse() }
+
+// QueuedInvocations returns invocations waiting for a concurrency slot.
+func (p *Platform) QueuedInvocations() int { return p.slots.QueueLen() }

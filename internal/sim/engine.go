@@ -1,0 +1,186 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// All platform models in this repository (devices, networks, serverless
+// platforms, edge clusters) are built on this kernel. The kernel keeps a
+// virtual clock and a priority queue of pending events; callbacks scheduled
+// for the same instant fire in scheduling order, which makes runs exactly
+// reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since the start of the
+// simulation.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration float64
+
+// Seconds returns t as a float64 second count.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// Seconds returns d as a float64 second count.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	index   int // heap index, -1 once removed
+	removed bool
+}
+
+// Time returns the virtual time the event is scheduled for.
+func (ev *Event) Time() Time { return ev.at }
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; construct engines with NewEngine.
+//
+// Engine is not safe for concurrent use: simulations are single-threaded by
+// design so that runs are deterministic.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have been executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are scheduled and not yet fired or
+// cancelled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now. Negative delays panic.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: scheduling event with negative delay %v", d))
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel removes ev from the queue. Cancelling an event that already fired
+// or was already cancelled is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.removed || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.removed = true
+}
+
+// Halt stops the current Run/RunUntil after the in-flight event completes.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step fires the next pending event, advancing the clock to its time. It
+// returns false if no events remain.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	ev.removed = true
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue drains or Halt is called.
+func (e *Engine) Run() {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+}
+
+// RunUntil fires events with time <= t, then sets the clock to t. Events
+// scheduled after t stay pending.
+func (e *Engine) RunUntil(t Time) {
+	e.halted = false
+	for !e.halted && len(e.queue) > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	if !e.halted && e.now < t {
+		e.now = t
+	}
+}
+
+// NextEventTime returns the time of the earliest pending event, or +Inf if
+// none are pending.
+func (e *Engine) NextEventTime() Time {
+	if len(e.queue) == 0 {
+		return Time(math.Inf(1))
+	}
+	return e.queue[0].at
+}
+
+// eventQueue is a min-heap of events ordered by (time, sequence) so that
+// same-instant events preserve scheduling order.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

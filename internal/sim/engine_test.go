@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, d := range []Duration{5, 1, 3, 2, 4} {
+		d := d
+		e.After(d, func() { fired = append(fired, e.Now()) })
+	}
+	e.Run()
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Fatalf("events fired out of order: %v", fired)
+	}
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events, want 5", len(fired))
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events reordered: %v", order)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := NewEngine()
+	e.After(2.5, func() {
+		if e.Now() != 2.5 {
+			t.Errorf("Now() = %v inside event, want 2.5", e.Now())
+		}
+		e.After(1.5, func() {
+			if e.Now() != 4 {
+				t.Errorf("Now() = %v inside nested event, want 4", e.Now())
+			}
+		})
+	})
+	e.Run()
+	if e.Now() != 4 {
+		t.Fatalf("final Now() = %v, want 4", e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At(past) did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("After(-1) did not panic")
+		}
+	}()
+	NewEngine().After(-1, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.After(1, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Cancelling twice must be safe.
+	e.Cancel(ev)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	var events []*Event
+	for i := 0; i < 5; i++ {
+		i := i
+		events = append(events, e.After(Duration(i+1), func() { fired = append(fired, i) }))
+	}
+	e.Cancel(events[2])
+	e.Run()
+	want := []int{0, 1, 3, 4}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func() { count++ })
+	}
+	e.RunUntil(5)
+	if count != 5 {
+		t.Fatalf("RunUntil(5) fired %d events, want 5", count)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now() = %v after RunUntil(5)", e.Now())
+	}
+	e.Run()
+	if count != 10 {
+		t.Fatalf("Run fired %d total events, want 10", count)
+	}
+}
+
+func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %v, want 100", e.Now())
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		i := i
+		e.At(Time(i), func() {
+			count++
+			if i == 3 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("Halt did not stop the run: fired %d", count)
+	}
+	e.Run()
+	if count != 10 {
+		t.Fatalf("resume after Halt fired %d total, want 10", count)
+	}
+}
+
+func TestNextEventTime(t *testing.T) {
+	e := NewEngine()
+	if !math.IsInf(float64(e.NextEventTime()), 1) {
+		t.Fatal("NextEventTime on empty queue should be +Inf")
+	}
+	e.At(7, func() {})
+	if e.NextEventTime() != 7 {
+		t.Fatalf("NextEventTime = %v, want 7", e.NextEventTime())
+	}
+}
+
+func TestHeapOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, d := range delays {
+			e.After(Duration(d), func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		// Strict less: SliceIsSorted mis-reports duplicates when given a
+		// less-or-equal comparator.
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFiredAndPendingCounts(t *testing.T) {
+	e := NewEngine()
+	for i := 1; i <= 4; i++ {
+		e.At(Time(i), func() {})
+	}
+	if e.Pending() != 4 {
+		t.Fatalf("Pending = %d, want 4", e.Pending())
+	}
+	e.RunUntil(2)
+	if e.Fired() != 2 || e.Pending() != 2 {
+		t.Fatalf("Fired=%d Pending=%d, want 2/2", e.Fired(), e.Pending())
+	}
+}

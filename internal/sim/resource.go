@@ -1,0 +1,153 @@
+package sim
+
+import "fmt"
+
+// Resource models a pool of identical servers with a FIFO wait queue: a
+// device CPU is a Resource with capacity 1, an edge cluster with eight
+// worker cores is a Resource with capacity 8.
+//
+// Callers request a unit with Acquire and get a callback when one is
+// granted; they must call Release exactly once per grant.
+type Resource struct {
+	eng      *Engine
+	name     string
+	capacity int
+	inUse    int
+	waiting  []*request
+
+	// Aggregate statistics, maintained incrementally so that utilisation
+	// can be computed without a trace.
+	busyTime   Duration
+	lastChange Time
+	grants     uint64
+	queuedTime Duration
+}
+
+type request struct {
+	fn        func()
+	enqueued  Time
+	cancelled bool
+}
+
+// Pending is a handle to a queued Acquire that has not been granted yet.
+type Pending struct {
+	r   *Resource
+	req *request
+}
+
+// Cancel withdraws the queued request. Cancelling after the grant fired is
+// a no-op.
+func (p *Pending) Cancel() {
+	if p == nil || p.req == nil {
+		return
+	}
+	p.req.cancelled = true
+}
+
+// NewResource returns a resource with the given capacity attached to eng.
+// It panics if capacity is not positive.
+func NewResource(eng *Engine, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource %q with capacity %d", name, capacity))
+	}
+	return &Resource{eng: eng, name: name, capacity: capacity}
+}
+
+// Name returns the resource's name, used in traces and error messages.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the number of units in the pool.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently granted.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of requests waiting for a unit.
+func (r *Resource) QueueLen() int {
+	n := 0
+	for _, req := range r.waiting {
+		if !req.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Acquire requests one unit. If a unit is free, fn runs via a zero-delay
+// event (so the caller's stack unwinds first); otherwise the request
+// queues FIFO. The returned Pending can cancel a queued request.
+func (r *Resource) Acquire(fn func()) *Pending {
+	if fn == nil {
+		panic("sim: Acquire with nil callback")
+	}
+	req := &request{fn: fn, enqueued: r.eng.Now()}
+	if r.inUse < r.capacity {
+		r.grant(req)
+		return &Pending{r: r, req: req}
+	}
+	r.waiting = append(r.waiting, req)
+	return &Pending{r: r, req: req}
+}
+
+// Release returns one unit to the pool and grants it to the head of the
+// wait queue, if any. It panics if no units are in use.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic(fmt.Sprintf("sim: Release on idle resource %q", r.name))
+	}
+	r.accumulate()
+	r.inUse--
+	for len(r.waiting) > 0 {
+		req := r.waiting[0]
+		r.waiting = r.waiting[1:]
+		if req.cancelled {
+			continue
+		}
+		r.queuedTime += r.eng.Now().Sub(req.enqueued)
+		r.grant(req)
+		return
+	}
+}
+
+func (r *Resource) grant(req *request) {
+	r.accumulate()
+	r.inUse++
+	r.grants++
+	r.eng.After(0, func() {
+		if req.cancelled {
+			// The holder cancelled between grant and dispatch; return the
+			// unit rather than leak it.
+			r.Release()
+			return
+		}
+		req.fn()
+	})
+}
+
+func (r *Resource) accumulate() {
+	now := r.eng.Now()
+	r.busyTime += Duration(float64(r.inUse) * float64(now.Sub(r.lastChange)))
+	r.lastChange = now
+}
+
+// Utilization returns the time-averaged fraction of capacity in use since
+// the start of the simulation. It returns 0 before any time has passed.
+func (r *Resource) Utilization() float64 {
+	r.accumulate()
+	elapsed := float64(r.eng.Now())
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(r.busyTime) / (elapsed * float64(r.capacity))
+}
+
+// Grants returns how many requests have been granted.
+func (r *Resource) Grants() uint64 { return r.grants }
+
+// MeanQueueWait returns the average time granted requests spent queued.
+func (r *Resource) MeanQueueWait() Duration {
+	if r.grants == 0 {
+		return 0
+	}
+	return Duration(float64(r.queuedTime) / float64(r.grants))
+}

@@ -1,0 +1,119 @@
+package sim
+
+// Queueing-theory validation: the kernel's emergent behaviour must match
+// closed-form results. These tests are the strongest evidence that the
+// simulator's clock, queues and resources are wired correctly — any
+// bookkeeping error shows up as a violation of Little's law or the
+// Pollaczek–Khinchine mean.
+
+import (
+	"math"
+	"testing"
+
+	"offload/internal/rng"
+)
+
+// TestMD1QueueMatchesPollaczekKhinchine drives an M/D/1 queue (Poisson
+// arrivals, deterministic service, one server) and compares the measured
+// mean wait against Wq = ρ·S / (2(1−ρ)).
+func TestMD1QueueMatchesPollaczekKhinchine(t *testing.T) {
+	const (
+		lambda  = 0.7 // arrivals per second
+		service = 1.0 // seconds
+		rho     = lambda * service
+		n       = 60000
+	)
+	eng := NewEngine()
+	r := NewResource(eng, "server", 1)
+	src := rng.New(42)
+
+	var arrive func()
+	remaining := n
+	arrive = func() {
+		r.Acquire(func() {
+			eng.After(Duration(service), r.Release)
+		})
+		remaining--
+		if remaining > 0 {
+			eng.After(Duration(src.Exp(lambda)), arrive)
+		}
+	}
+	eng.After(Duration(src.Exp(lambda)), arrive)
+	eng.Run()
+
+	want := rho * service / (2 * (1 - rho)) // ≈ 1.1667 s
+	got := float64(r.MeanQueueWait())
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("M/D/1 mean wait = %.4f s, Pollaczek–Khinchine predicts %.4f s", got, want)
+	}
+}
+
+// TestMM1QueueMatchesTheory repeats the check for exponential service:
+// Wq = ρ/(μ−λ).
+func TestMM1QueueMatchesTheory(t *testing.T) {
+	const (
+		lambda = 0.6
+		mu     = 1.0
+		n      = 60000
+	)
+	eng := NewEngine()
+	r := NewResource(eng, "server", 1)
+	src := rng.New(7)
+
+	var arrive func()
+	remaining := n
+	arrive = func() {
+		r.Acquire(func() {
+			eng.After(Duration(src.Exp(mu)), r.Release)
+		})
+		remaining--
+		if remaining > 0 {
+			eng.After(Duration(src.Exp(lambda)), arrive)
+		}
+	}
+	eng.After(Duration(src.Exp(lambda)), arrive)
+	eng.Run()
+
+	rho := lambda / mu
+	want := rho / (mu - lambda) // = 1.5 s
+	got := float64(r.MeanQueueWait())
+	if math.Abs(got-want)/want > 0.07 {
+		t.Fatalf("M/M/1 mean wait = %.4f s, theory predicts %.4f s", got, want)
+	}
+}
+
+// TestLittlesLawOnInfiniteServer checks L = λ·W on an M/D/∞ system: the
+// time-averaged number in service must equal arrival rate times service
+// time.
+func TestLittlesLawOnInfiniteServer(t *testing.T) {
+	const (
+		lambda  = 2.0
+		service = 3.0
+		n       = 40000
+	)
+	eng := NewEngine()
+	// "Infinite" servers: capacity far above the offered load.
+	r := NewResource(eng, "pool", 1000)
+	src := rng.New(9)
+
+	var arrive func()
+	remaining := n
+	arrive = func() {
+		r.Acquire(func() {
+			eng.After(Duration(service), r.Release)
+		})
+		remaining--
+		if remaining > 0 {
+			eng.After(Duration(src.Exp(lambda)), arrive)
+		}
+	}
+	eng.After(Duration(src.Exp(lambda)), arrive)
+	eng.Run()
+
+	// Utilization × capacity = time-averaged jobs in service = λ·S.
+	got := r.Utilization() * float64(r.Capacity())
+	want := lambda * service
+	if math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("Little's law: L = %.3f, λW = %.3f", got, want)
+	}
+}

@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSONL checks the trace reader never panics and that accepted
+// streams survive a write→read round trip.
+func FuzzReadJSONL(f *testing.F) {
+	var rec Recorder
+	rec.Add(sample())
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("\n\n")
+	f.Add(`{"task_id":1}`)
+	f.Add("{bad")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		records, err := ReadJSONL(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var out Recorder
+		for _, r := range records {
+			out.Add(r)
+		}
+		var round bytes.Buffer
+		if err := out.WriteJSONL(&round); err != nil {
+			t.Fatalf("accepted records do not re-encode: %v", err)
+		}
+		back, err := ReadJSONL(&round)
+		if err != nil {
+			t.Fatalf("re-encoded records do not re-parse: %v", err)
+		}
+		if len(back) != len(records) {
+			t.Fatalf("round trip changed record count: %d vs %d", len(back), len(records))
+		}
+	})
+}

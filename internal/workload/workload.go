@@ -1,0 +1,325 @@
+// Package workload generates the task streams the evaluation runs on:
+// stochastic arrival processes (Poisson, bursty MMPP, diurnal) and task
+// populations derived from the callgraph application templates, with
+// lognormal size variation and per-application soft deadlines in the
+// minutes-to-hours range that defines "non-time-critical".
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"offload/internal/callgraph"
+	"offload/internal/model"
+	"offload/internal/rng"
+	"offload/internal/sim"
+)
+
+// Arrivals produces inter-arrival gaps. Implementations may depend on the
+// current virtual time (diurnal patterns do).
+type Arrivals interface {
+	// Next returns the gap between the arrival at now and the next one.
+	Next(now sim.Time) sim.Duration
+}
+
+// Poisson is a homogeneous Poisson process.
+type Poisson struct {
+	src  *rng.Source
+	rate float64
+}
+
+var _ Arrivals = (*Poisson)(nil)
+
+// NewPoisson returns a Poisson process with the given rate per second.
+// It panics if rate <= 0.
+func NewPoisson(src *rng.Source, rate float64) *Poisson {
+	if rate <= 0 {
+		panic(fmt.Sprintf("workload: Poisson rate %g not positive", rate))
+	}
+	return &Poisson{src: src, rate: rate}
+}
+
+// Next implements Arrivals.
+func (p *Poisson) Next(sim.Time) sim.Duration {
+	return sim.Duration(p.src.Exp(p.rate))
+}
+
+// MMPP is a two-state Markov-modulated Poisson process: a calm state and a
+// burst state with different rates, switching with exponential sojourns.
+type MMPP struct {
+	src                 *rng.Source
+	calmRate, burstRate float64
+	toBurst, toCalm     float64 // state-switch rates per second
+	burst               bool
+	stateLeft           sim.Duration // remaining sojourn in current state
+}
+
+var _ Arrivals = (*MMPP)(nil)
+
+// NewMMPP returns an MMPP starting in the calm state. All rates must be
+// positive.
+func NewMMPP(src *rng.Source, calmRate, burstRate, toBurst, toCalm float64) *MMPP {
+	if calmRate <= 0 || burstRate <= 0 || toBurst <= 0 || toCalm <= 0 {
+		panic(fmt.Sprintf("workload: MMPP rates must be positive (%g %g %g %g)",
+			calmRate, burstRate, toBurst, toCalm))
+	}
+	m := &MMPP{src: src, calmRate: calmRate, burstRate: burstRate, toBurst: toBurst, toCalm: toCalm}
+	m.stateLeft = sim.Duration(src.Exp(toBurst))
+	return m
+}
+
+// Next implements Arrivals by racing the next arrival against state
+// switches.
+func (m *MMPP) Next(sim.Time) sim.Duration {
+	total := sim.Duration(0)
+	for {
+		rate := m.calmRate
+		if m.burst {
+			rate = m.burstRate
+		}
+		gap := sim.Duration(m.src.Exp(rate))
+		if gap <= m.stateLeft {
+			m.stateLeft -= gap
+			return total + gap
+		}
+		// State switches before the arrival would have happened.
+		total += m.stateLeft
+		m.burst = !m.burst
+		switchRate := m.toCalm
+		if !m.burst {
+			switchRate = m.toBurst
+		}
+		m.stateLeft = sim.Duration(m.src.Exp(switchRate))
+	}
+}
+
+// Diurnal modulates a Poisson process with a sinusoidal day curve:
+// rate(t) = base·(1 + amplitude·sin(2πt/period)), sampled by thinning.
+type Diurnal struct {
+	src       *rng.Source
+	base      float64
+	amplitude float64
+	period    float64
+}
+
+var _ Arrivals = (*Diurnal)(nil)
+
+// NewDiurnal returns a diurnal process. amplitude must be in [0, 1) so the
+// rate stays positive; period is the cycle length in seconds.
+func NewDiurnal(src *rng.Source, base, amplitude, period float64) *Diurnal {
+	if base <= 0 || amplitude < 0 || amplitude >= 1 || period <= 0 {
+		panic(fmt.Sprintf("workload: bad diurnal parameters base=%g amp=%g period=%g",
+			base, amplitude, period))
+	}
+	return &Diurnal{src: src, base: base, amplitude: amplitude, period: period}
+}
+
+// Next implements Arrivals with Lewis–Shedler thinning against the peak
+// rate.
+func (d *Diurnal) Next(now sim.Time) sim.Duration {
+	peak := d.base * (1 + d.amplitude)
+	t := float64(now)
+	for {
+		t += d.src.Exp(peak)
+		rate := d.base * (1 + d.amplitude*math.Sin(2*math.Pi*t/d.period))
+		if d.src.Float64() < rate/peak {
+			return sim.Duration(t - float64(now))
+		}
+	}
+}
+
+// Fixed replays constant gaps — useful in tests and closed-form checks.
+type Fixed struct{ Gap sim.Duration }
+
+var _ Arrivals = (*Fixed)(nil)
+
+// Next implements Arrivals.
+func (f *Fixed) Next(sim.Time) sim.Duration { return f.Gap }
+
+// TaskTemplate describes a population of tasks derived from one
+// application.
+type TaskTemplate struct {
+	App              string
+	MeanCycles       float64      // offloadable demand per run
+	CyclesSigma      float64      // lognormal dispersion of task sizes
+	InputBytes       int64        // device→remote payload per run
+	OutputBytes      int64        // remote→device payload per run
+	MemoryBytes      int64        // peak working set of offloaded work
+	ParallelFraction float64      // demand-weighted parallel share
+	Deadline         sim.Duration // soft deadline; 0 = none
+}
+
+// Validate reports whether the template is usable.
+func (t TaskTemplate) Validate() error {
+	switch {
+	case t.App == "":
+		return fmt.Errorf("workload: template without app name")
+	case t.MeanCycles <= 0:
+		return fmt.Errorf("workload: %s: demand must be positive", t.App)
+	case t.CyclesSigma < 0:
+		return fmt.Errorf("workload: %s: negative dispersion", t.App)
+	case t.InputBytes < 0 || t.OutputBytes < 0 || t.MemoryBytes < 0:
+		return fmt.Errorf("workload: %s: negative sizes", t.App)
+	case t.ParallelFraction < 0 || t.ParallelFraction > 1:
+		return fmt.Errorf("workload: %s: parallel fraction outside [0,1]", t.App)
+	case t.Deadline < 0:
+		return fmt.Errorf("workload: %s: negative deadline", t.App)
+	}
+	return nil
+}
+
+// defaultDeadlines are the per-application soft deadlines: generous,
+// minutes-to-hours budgets, as the non-time-critical framing demands.
+var defaultDeadlines = map[string]sim.Duration{
+	"video-transcode": 30 * 60,
+	"ml-batch":        8 * 3600,
+	"photo-pipeline":  10 * 60,
+	"report-gen":      15 * 60,
+	"sci-batch":       12 * 3600,
+}
+
+// FromGraph derives a task template from an application call graph: the
+// offloadable demand is everything not pinned, the payloads are the edges
+// crossing the pinned boundary, and the working set is the largest
+// offloadable component's.
+func FromGraph(g *callgraph.Graph) (TaskTemplate, error) {
+	if err := g.Validate(); err != nil {
+		return TaskTemplate{}, err
+	}
+	t := TaskTemplate{App: g.Name(), CyclesSigma: 0.25}
+	var weighted float64
+	for _, c := range g.Components() {
+		if c.Pinned {
+			continue
+		}
+		cycles := c.Cycles * c.CallsPerRun
+		t.MeanCycles += cycles
+		weighted += cycles * c.ParallelFraction
+		if c.MemoryBytes > t.MemoryBytes {
+			t.MemoryBytes = c.MemoryBytes
+		}
+	}
+	if t.MeanCycles == 0 {
+		return TaskTemplate{}, fmt.Errorf("workload: %s has no offloadable work", g.Name())
+	}
+	t.ParallelFraction = weighted / t.MeanCycles
+	for _, e := range g.Edges() {
+		fromPinned := g.Component(e.From).Pinned
+		toPinned := g.Component(e.To).Pinned
+		bytes := int64(float64(e.Bytes) * e.CallsPerRun)
+		switch {
+		case fromPinned && !toPinned:
+			t.InputBytes += bytes
+		case !fromPinned && toPinned:
+			t.OutputBytes += bytes
+		}
+	}
+	if d, ok := defaultDeadlines[g.Name()]; ok {
+		t.Deadline = d
+	} else {
+		t.Deadline = 3600
+	}
+	return t, t.Validate()
+}
+
+// Generator draws tasks from a weighted mix of templates.
+type Generator struct {
+	src       *rng.Source
+	templates []TaskTemplate
+	cum       []float64 // cumulative weights
+	nextID    model.TaskID
+}
+
+// WeightedTemplate pairs a template with its share of the mix.
+type WeightedTemplate struct {
+	Template TaskTemplate
+	Weight   float64
+}
+
+// NewGenerator returns a generator over the mix. Weights must be positive.
+func NewGenerator(src *rng.Source, mix []WeightedTemplate) (*Generator, error) {
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("workload: empty template mix")
+	}
+	g := &Generator{src: src}
+	total := 0.0
+	for _, wt := range mix {
+		if err := wt.Template.Validate(); err != nil {
+			return nil, err
+		}
+		if wt.Weight <= 0 {
+			return nil, fmt.Errorf("workload: non-positive weight for %s", wt.Template.App)
+		}
+		total += wt.Weight
+		g.templates = append(g.templates, wt.Template)
+		g.cum = append(g.cum, total)
+	}
+	for i := range g.cum {
+		g.cum[i] /= total
+	}
+	return g, nil
+}
+
+// StandardMix returns a generator over all five application templates with
+// equal weights.
+func StandardMix(src *rng.Source) (*Generator, error) {
+	var mix []WeightedTemplate
+	for _, name := range callgraph.TemplateNames() {
+		t, err := FromGraph(callgraph.Templates()[name])
+		if err != nil {
+			return nil, err
+		}
+		mix = append(mix, WeightedTemplate{Template: t, Weight: 1})
+	}
+	return NewGenerator(src, mix)
+}
+
+// Next draws one task submitted at now.
+func (g *Generator) Next(now sim.Time) *model.Task {
+	u := g.src.Float64()
+	idx := 0
+	for idx < len(g.cum)-1 && g.cum[idx] < u {
+		idx++
+	}
+	t := g.templates[idx]
+	g.nextID++
+	scale := 1.0
+	if t.CyclesSigma > 0 {
+		// Unit-mean lognormal size factor.
+		scale = g.src.LogNormal(-t.CyclesSigma*t.CyclesSigma/2, t.CyclesSigma)
+	}
+	return &model.Task{
+		ID:               g.nextID,
+		App:              t.App,
+		InputBytes:       int64(float64(t.InputBytes) * scale),
+		OutputBytes:      int64(float64(t.OutputBytes) * scale),
+		Cycles:           t.MeanCycles * scale,
+		MemoryBytes:      t.MemoryBytes,
+		ParallelFraction: t.ParallelFraction,
+		Deadline:         t.Deadline,
+		Submitted:        now,
+	}
+}
+
+// Generated returns how many tasks have been drawn.
+func (g *Generator) Generated() uint64 { return uint64(g.nextID) }
+
+// Stream schedules count arrivals on eng, drawing gaps from arrivals and
+// tasks from gen, invoking submit for each. Submission happens inside the
+// simulation, so substrates see realistic arrival dynamics.
+func Stream(eng *sim.Engine, arrivals Arrivals, gen *Generator, count int, submit func(*model.Task)) {
+	if count <= 0 {
+		return
+	}
+	var arrive func()
+	remaining := count
+	arrive = func() {
+		task := gen.Next(eng.Now())
+		remaining--
+		submit(task)
+		if remaining > 0 {
+			eng.After(arrivals.Next(eng.Now()), arrive)
+		}
+	}
+	eng.After(arrivals.Next(eng.Now()), arrive)
+}

@@ -1,0 +1,247 @@
+// Package offload is a framework for computational offloading of
+// non-time-critical applications, after Patsch, "Computational Offloading
+// for Non-Time-Critical Applications" (ICDCS 2022).
+//
+// The premise: when a workload tolerates seconds-to-hours of completion
+// time, the latency advantage of edge computing stops paying for its
+// infrastructure, and the right offloading target is cloud serverless —
+// provided the framework (1) determines each component's computational
+// demand, (2) partitions the application into device-side and offloadable
+// parts, (3) allocates serverless resources cost-optimally, and (4) wires
+// all of that into the CI/CD pipeline. This package exposes those four
+// capabilities plus the simulation substrates used to evaluate them.
+//
+// # Quick start
+//
+//	sys, err := offload.NewSystem(offload.DefaultConfig())
+//	gen, err := offload.StandardMix(sys.Src.Split())
+//	sys.SubmitStream(offload.NewPoisson(sys.Src.Split(), 0.5), gen, 1000)
+//	sys.Run()
+//	fmt.Println(sys.Stats().CostPerTask())
+//
+// # Offline planning
+//
+//	plan, err := offload.PlanApp(offload.SciBatch(), offload.PlanOptions{
+//		Device:     offload.Smartphone(),
+//		Serverless: offload.LambdaLike(),
+//		CloudPath:  offload.WiFiCloud(),
+//	})
+//
+// The deeper building blocks live in internal/: the discrete-event kernel
+// (internal/sim), the substrates (device, network, edge, serverless,
+// cloudvm), the algorithms (profile, partition, alloc, sched) and the
+// pipeline integration (cicd).
+package offload
+
+import (
+	"offload/internal/callgraph"
+	"offload/internal/chain"
+	"offload/internal/cicd"
+	"offload/internal/cloudvm"
+	"offload/internal/core"
+	"offload/internal/device"
+	"offload/internal/edge"
+	"offload/internal/model"
+	"offload/internal/network"
+	"offload/internal/rng"
+	"offload/internal/serverless"
+	"offload/internal/workload"
+)
+
+// Core user journey.
+type (
+	// Config assembles a complete offloading environment.
+	Config = core.Config
+	// System is a live assembled environment.
+	System = core.System
+	// BatchConfig enables delay-tolerant batching of serverless tasks.
+	BatchConfig = core.BatchConfig
+	// PolicyName selects a placement policy.
+	PolicyName = core.PolicyName
+	// Plan is the offline artefact for one application.
+	Plan = core.Plan
+	// PlanOptions configures the offline planning journey.
+	PlanOptions = core.PlanOptions
+	// Weights converts seconds, joules and dollars into one objective.
+	Weights = core.Weights
+)
+
+// Placement policies.
+const (
+	PolicyLocalOnly     = core.PolicyLocalOnly
+	PolicyEdgeAll       = core.PolicyEdgeAll
+	PolicyCloudAll      = core.PolicyCloudAll
+	PolicyVMAll         = core.PolicyVMAll
+	PolicyRandom        = core.PolicyRandom
+	PolicyThreshold     = core.PolicyThreshold
+	PolicyDeadlineAware = core.PolicyDeadlineAware
+)
+
+// NewSystem builds a System from the configuration.
+func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// Fleet simulates many devices against shared remote infrastructure.
+type Fleet = core.Fleet
+
+// FleetStats aggregates statistics across a fleet's schedulers.
+type FleetStats = core.FleetStats
+
+// NewFleet builds n devices from cfg's device template, sharing the
+// configured serverless region, edge site and VM fleet.
+func NewFleet(cfg Config, n int) (*Fleet, error) { return core.NewFleet(cfg, n) }
+
+// DefaultConfig is a smartphone with every substrate present and the
+// deadline-aware policy.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// AllPolicies lists the policy names in canonical order.
+func AllPolicies() []PolicyName { return core.AllPolicies() }
+
+// PlanApp runs the offline journey: profile → partition → allocate →
+// manifest.
+func PlanApp(g *Graph, opts PlanOptions) (*Plan, error) { return core.PlanApp(g, opts) }
+
+// DefaultWeights balances latency, energy and money for a battery-powered
+// consumer device.
+func DefaultWeights() Weights { return core.DefaultWeights() }
+
+// Domain types.
+type (
+	// Task is one unit of offloadable work.
+	Task = model.Task
+	// TaskID identifies a task within a run.
+	TaskID = model.TaskID
+	// Outcome is the end-to-end record for a completed task.
+	Outcome = model.Outcome
+	// Placement says where a task's computation ran.
+	Placement = model.Placement
+)
+
+// Placements.
+const (
+	PlaceLocal    = model.PlaceLocal
+	PlaceEdge     = model.PlaceEdge
+	PlaceFunction = model.PlaceFunction
+	PlaceVM       = model.PlaceVM
+)
+
+// Application graphs.
+type (
+	// Graph is a weighted application component graph.
+	Graph = callgraph.Graph
+	// Component is one vertex of an application graph.
+	Component = callgraph.Component
+	// GraphEdge is one interaction between components.
+	GraphEdge = callgraph.Edge
+)
+
+// NewGraph returns an empty application graph.
+func NewGraph(name string) *Graph { return callgraph.New(name) }
+
+// ParseGraph decodes a graph from the JSON spec format.
+func ParseGraph(data []byte) (*Graph, error) { return callgraph.Parse(data) }
+
+// Application templates.
+var (
+	// VideoTranscode is a background video-transcoding job.
+	VideoTranscode = callgraph.VideoTranscode
+	// MLBatch is nightly batch inference.
+	MLBatch = callgraph.MLBatch
+	// PhotoPipeline is a photo backup/enhancement pipeline.
+	PhotoPipeline = callgraph.PhotoPipeline
+	// ReportGen is business-report generation.
+	ReportGen = callgraph.ReportGen
+	// SciBatch is an overnight scientific batch job.
+	SciBatch = callgraph.SciBatch
+	// Templates returns all application templates keyed by name.
+	Templates = callgraph.Templates
+)
+
+// Workload generation.
+type (
+	// Generator draws tasks from a weighted template mix.
+	Generator = workload.Generator
+	// Arrivals produces inter-arrival gaps.
+	Arrivals = workload.Arrivals
+	// TaskTemplate describes a population of tasks.
+	TaskTemplate = workload.TaskTemplate
+	// WeightedTemplate pairs a template with its share of a mix.
+	WeightedTemplate = workload.WeightedTemplate
+)
+
+// StandardMix returns a generator over all five application templates.
+func StandardMix(src *rng.Source) (*Generator, error) { return workload.StandardMix(src) }
+
+// NewMix returns a generator over a weighted template mix.
+func NewMix(src *rng.Source, mix []WeightedTemplate) (*Generator, error) {
+	return workload.NewGenerator(src, mix)
+}
+
+// NewGenerator returns a generator over a single template.
+func NewGenerator(src *rng.Source, t TaskTemplate) (*Generator, error) {
+	return workload.NewGenerator(src, []WeightedTemplate{{Template: t, Weight: 1}})
+}
+
+// NewPoisson returns a Poisson arrival process with the given rate/s.
+func NewPoisson(src *rng.Source, rate float64) Arrivals { return workload.NewPoisson(src, rate) }
+
+// TemplateFromGraph derives a task template from an application graph.
+func TemplateFromGraph(g *Graph) (TaskTemplate, error) { return workload.FromGraph(g) }
+
+// NewRand returns a deterministic random source for the given seed.
+func NewRand(seed uint64) *rng.Source { return rng.New(seed) }
+
+// CI/CD integration.
+type (
+	// DeployOptions configures one CI/CD pipeline run.
+	DeployOptions = core.DeployOptions
+	// DeployResult is the outcome of one pipeline run.
+	DeployResult = core.DeployResult
+	// PipelineReport is a stage-by-stage pipeline report.
+	PipelineReport = cicd.Report
+	// Manifest records what a pipeline run deployed.
+	Manifest = cicd.Manifest
+)
+
+// RunDeployPipeline runs the (optionally offload-integrated) deployment
+// pipeline for an application on a fresh simulated serverless platform.
+func RunDeployPipeline(g *Graph, opts DeployOptions) (DeployResult, error) {
+	return core.RunDeployPipeline(g, opts)
+}
+
+// RunResult is one chain-executed application run: per-component timings,
+// cut-edge transfers, money and device energy.
+type RunResult = chain.Result
+
+// SimulatePlan plans an application, deploys the manifest onto a fresh
+// simulated platform, and executes runs application runs through the
+// partitioned chain.
+func SimulatePlan(g *Graph, opts PlanOptions, runs int) (*Plan, []RunResult, error) {
+	return core.SimulatePlan(g, opts, runs)
+}
+
+// Substrate presets.
+var (
+	// Smartphone is a mid-range handset device configuration.
+	Smartphone = device.Smartphone
+	// IoTSensor is a constrained sensor-node device configuration.
+	IoTSensor = device.IoTSensor
+	// Laptop is a mains-powered developer laptop configuration.
+	Laptop = device.Laptop
+	// LambdaLike is an AWS-Lambda-calibrated serverless platform.
+	LambdaLike = serverless.LambdaLike
+	// EdgeSmallSite is an on-premises micro-datacenter.
+	EdgeSmallSite = edge.SmallSite
+	// VMC5Large is a fixed general-purpose cloud instance.
+	VMC5Large = cloudvm.C5Large
+	// VMAutoscaled is an elastic cloud-VM fleet.
+	VMAutoscaled = cloudvm.Autoscaled
+	// WiFiCloud is a WiFi-to-cloud-region network path.
+	WiFiCloud = network.WiFiCloud
+	// LTECloud is a cellular-to-cloud network path.
+	LTECloud = network.LTECloud
+	// LANEdge is a LAN path to an on-premises edge server.
+	LANEdge = network.LANEdge
+	// FiveGEdge is a 5G path to a MEC site.
+	FiveGEdge = network.FiveGEdge
+)

@@ -1,0 +1,80 @@
+package offload_test
+
+import (
+	"testing"
+
+	"offload"
+)
+
+// These tests exercise the public façade exactly as a downstream user
+// would, keeping the README snippets honest.
+
+func TestQuickstartJourney(t *testing.T) {
+	sys, err := offload.NewSystem(offload.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := offload.StandardMix(sys.Src.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SubmitStream(offload.NewPoisson(sys.Src.Split(), 0.5), gen, 25)
+	sys.Run()
+	if sys.Stats().Total() != 25 {
+		t.Fatalf("Total = %d", sys.Stats().Total())
+	}
+}
+
+func TestPlanJourney(t *testing.T) {
+	plan, err := offload.PlanApp(offload.SciBatch(), offload.PlanOptions{
+		Device:     offload.Smartphone(),
+		Serverless: offload.LambdaLike(),
+		CloudPath:  offload.WiFiCloud(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Remote) == 0 || len(plan.Manifest.Functions) == 0 {
+		t.Fatalf("empty plan: %+v", plan)
+	}
+}
+
+func TestCustomGraphThroughFacade(t *testing.T) {
+	g := offload.NewGraph("my-app")
+	g.MustAddComponent(offload.Component{Name: "ui", Cycles: 1e7, Pinned: true})
+	g.MustAddComponent(offload.Component{Name: "crunch", Cycles: 5e10, ParallelFraction: 0.8})
+	if err := g.Connect("ui", "crunch", 1<<20, 1); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := offload.PlanApp(g, offload.PlanOptions{
+		Device:     offload.Laptop(),
+		Serverless: offload.LambdaLike(),
+		CloudPath:  offload.WiFiCloud(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Remote) != 1 || plan.Remote[0] != "crunch" {
+		t.Fatalf("Remote = %v, want [crunch]", plan.Remote)
+	}
+}
+
+func TestAllPoliciesRunViaFacade(t *testing.T) {
+	for _, p := range offload.AllPolicies() {
+		cfg := offload.DefaultConfig()
+		cfg.Policy = p
+		sys, err := offload.NewSystem(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		gen, err := offload.StandardMix(sys.Src.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.SubmitStream(offload.NewPoisson(sys.Src.Split(), 1), gen, 5)
+		sys.Run()
+		if sys.Stats().Total() != 5 {
+			t.Fatalf("%s completed %d/5", p, sys.Stats().Total())
+		}
+	}
+}
