@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench bench-full results examples clean
+.PHONY: all build test vet fmt race ci determinism golden bench bench-full results examples clean
 
 all: build vet test
 
@@ -12,6 +12,34 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Fail if any file is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+race:
+	$(GO) test -race ./...
+
+# Everything CI runs, in order: the five gates plus the determinism diff.
+ci: build vet fmt test race determinism
+
+# Prove offbench's stdout is byte-identical serial vs parallel and still
+# matches the committed quick-scale goldens.
+determinism:
+	$(GO) build -o /tmp/offbench-ci ./cmd/offbench
+	/tmp/offbench-ci -scale quick -csv -seed 1 -parallel 1 -quiet > /tmp/offbench-serial.txt
+	/tmp/offbench-ci -scale quick -csv -seed 1 -parallel 4 -quiet > /tmp/offbench-parallel.txt
+	cmp /tmp/offbench-serial.txt /tmp/offbench-parallel.txt
+	rm -rf /tmp/offbench-golden
+	/tmp/offbench-ci -scale quick -csv -seed 1 -parallel 4 -quiet -out /tmp/offbench-golden > /dev/null
+	diff -ru results/golden /tmp/offbench-golden
+
+# Regenerate the committed quick-scale golden CSVs after an intentional
+# change to experiment output.
+golden:
+	rm -rf results/golden
+	$(GO) run ./cmd/offbench -scale quick -csv -seed 1 -quiet -out results/golden > /dev/null
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -7,6 +7,7 @@ package offload_test
 // `go run ./cmd/offbench` prints the full-scale tables.
 
 import (
+	"context"
 	"testing"
 
 	"offload"
@@ -33,9 +34,34 @@ func benchExperiment(b *testing.B, id string) {
 	scale := exp.Quick()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tables := e.Run(scale)
+		tables, err := e.Run(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(tables) == 0 || tables[0].Len() == 0 {
 			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkSuiteSerial and BenchmarkSuiteParallel regenerate the whole
+// quick-scale suite through the Runner — the same substrate offbench and
+// CI use — at one worker and at NumCPU workers. Their ratio is the
+// wall-clock win the worker pool buys on this machine.
+func BenchmarkSuiteSerial(b *testing.B)   { benchSuite(b, 1) }
+func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, 0) }
+
+func benchSuite(b *testing.B, workers int) {
+	b.Helper()
+	r := &exp.Runner{Scale: exp.Quick(), Parallel: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := r.Run(context.Background(), exp.Registry())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(exp.Registry()) {
+			b.Fatalf("suite returned %d results", len(results))
 		}
 	}
 }

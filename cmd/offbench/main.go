@@ -1,5 +1,11 @@
-// Command offbench regenerates the evaluation suite E1–E15 from DESIGN.md
+// Command offbench regenerates the evaluation suite E1–E16 from DESIGN.md
 // and prints each table (aligned text by default, CSV with -csv).
+//
+// Experiments run on a bounded worker pool (-parallel, default NumCPU)
+// with per-experiment seeds derived from -seed, so the data written to
+// stdout is byte-identical for every worker count — CI diffs serial
+// against parallel runs to enforce this. Progress and per-experiment
+// wall-clock/allocation stats go to stderr, keeping stdout pure data.
 //
 // Usage:
 //
@@ -7,12 +13,19 @@
 //	offbench -exp E2,E4      # selected experiments
 //	offbench -scale quick    # the CI-sized scale
 //	offbench -csv            # machine-readable output
+//	offbench -parallel 4     # bound the worker pool
 //	offbench -list           # print the experiment index
+//
+// offbench exits 0 only when every selected experiment succeeded; any
+// experiment error (or panic) makes it exit 1 after reporting the tables
+// that did complete.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,21 +35,34 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], exp.Registry(), os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected: the experiment registry and
+// both output streams, so tests can drive it end to end, including the
+// failure paths.
+func run(args []string, registry []exp.Experiment, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("offbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		expFlag   = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
-		scaleFlag = flag.String("scale", "full", "scale: quick or full")
-		csvFlag   = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		outFlag   = flag.String("out", "", "also write each table as a CSV file into this directory")
-		listFlag  = flag.Bool("list", false, "list experiments and exit")
-		seedFlag  = flag.Uint64("seed", 1, "base RNG seed")
+		expFlag      = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
+		scaleFlag    = fs.String("scale", "full", "scale: quick or full")
+		csvFlag      = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		outFlag      = fs.String("out", "", "also write each table as a CSV file into this directory")
+		listFlag     = fs.Bool("list", false, "list experiments and exit")
+		seedFlag     = fs.Uint64("seed", 1, "base RNG seed")
+		parallelFlag = fs.Int("parallel", 0, "worker-pool size (0 = NumCPU); output is identical for any value")
+		quietFlag    = fs.Bool("quiet", false, "suppress per-experiment progress on stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *listFlag {
-		for _, e := range exp.Registry() {
-			fmt.Printf("%-4s %s\n", e.ID, e.Claim)
+		for _, e := range registry {
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Claim)
 		}
-		return
+		return 0
 	}
 
 	var scale exp.Scale
@@ -46,50 +72,96 @@ func main() {
 	case "full":
 		scale = exp.Full()
 	default:
-		fmt.Fprintf(os.Stderr, "offbench: unknown scale %q (quick|full)\n", *scaleFlag)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "offbench: unknown scale %q (quick|full)\n", *scaleFlag)
+		return 2
 	}
 	scale.Seed = *seedFlag
 
-	var selected []exp.Experiment
-	if *expFlag == "" {
-		selected = exp.Registry()
-	} else {
-		for _, id := range strings.Split(*expFlag, ",") {
-			e, err := exp.ByID(strings.TrimSpace(id))
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "offbench: %v\n", err)
-				os.Exit(2)
-			}
-			selected = append(selected, e)
-		}
+	selected, err := selectExperiments(registry, *expFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "offbench: %v\n", err)
+		return 2
 	}
 
 	if *outFlag != "" {
 		if err := os.MkdirAll(*outFlag, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "offbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "offbench: %v\n", err)
+			return 1
 		}
 	}
 
-	for _, e := range selected {
-		start := time.Now()
-		tables := e.Run(scale)
-		fmt.Printf("### %s — %s (ran in %v)\n\n", e.ID, e.Claim, time.Since(start).Round(time.Millisecond))
-		for i, t := range tables {
+	runner := &exp.Runner{Scale: scale, Parallel: *parallelFlag}
+	if !*quietFlag {
+		runner.OnResult = func(res exp.Result) {
+			switch {
+			case res.Skipped:
+				fmt.Fprintf(stderr, "offbench: %-4s skipped\n", res.ID)
+			case res.Err != nil:
+				fmt.Fprintf(stderr, "offbench: %-4s FAILED after %v\n", res.ID, res.Elapsed.Round(time.Millisecond))
+			default:
+				fmt.Fprintf(stderr, "offbench: %-4s done in %7v, %6.1f MB allocated\n",
+					res.ID, res.Elapsed.Round(time.Millisecond),
+					float64(res.AllocBytes)/(1<<20))
+			}
+		}
+	}
+	results, runErr := runner.Run(context.Background(), selected)
+
+	// Tables print in suite order whatever order workers finished in, so
+	// the report reads identically at every -parallel value.
+	for _, res := range results {
+		if res.Err != nil {
+			continue
+		}
+		fmt.Fprintf(stdout, "### %s — %s\n\n", res.ID, res.Claim)
+		for i, t := range res.Tables {
 			if *csvFlag {
-				fmt.Printf("# %s\n%s\n", t.Title(), t.CSV())
+				fmt.Fprintf(stdout, "# %s\n%s\n", t.Title(), t.CSV())
 			} else {
-				fmt.Println(t.String())
+				fmt.Fprintln(stdout, t.String())
 			}
 			if *outFlag != "" {
-				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(e.ID), i+1)
+				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(res.ID), i+1)
 				path := filepath.Join(*outFlag, name)
 				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
-					fmt.Fprintf(os.Stderr, "offbench: writing %s: %v\n", path, err)
-					os.Exit(1)
+					fmt.Fprintf(stderr, "offbench: writing %s: %v\n", path, err)
+					return 1
 				}
 			}
 		}
 	}
+
+	if runErr != nil {
+		for _, res := range results {
+			if res.Err != nil && !res.Skipped {
+				fmt.Fprintf(stderr, "offbench: %v\n", res.Err)
+			}
+		}
+		return 1
+	}
+	return 0
+}
+
+// selectExperiments resolves a comma-separated ID list against the given
+// registry, preserving suite order for the empty (run everything) case.
+func selectExperiments(registry []exp.Experiment, ids string) ([]exp.Experiment, error) {
+	if ids == "" {
+		return registry, nil
+	}
+	byID := make(map[string]exp.Experiment, len(registry))
+	var known []string
+	for _, e := range registry {
+		byID[e.ID] = e
+		known = append(known, e.ID)
+	}
+	var selected []exp.Experiment
+	for _, id := range strings.Split(ids, ",") {
+		id = strings.TrimSpace(id)
+		e, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (have %v)", id, known)
+		}
+		selected = append(selected, e)
+	}
+	return selected, nil
 }

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"offload/internal/exp"
+	"offload/internal/metrics"
+)
+
+// fakeRegistry is a tiny stand-in suite: two healthy experiments and an
+// optional failing or panicking one, fast enough to run many times.
+func fakeRegistry(fail, panics bool) []exp.Experiment {
+	ok := func(id string, seq int) exp.Experiment {
+		return exp.Experiment{ID: id, Seq: seq, Claim: id + " claim",
+			Run: func(s exp.Scale) ([]*metrics.Table, error) {
+				tbl := metrics.NewTable(id+" table", "seed", "tasks")
+				tbl.AddRowf(s.Seed, s.Tasks)
+				return []*metrics.Table{tbl}, nil
+			}}
+	}
+	reg := []exp.Experiment{ok("F1", 0), ok("F2", 1)}
+	if fail {
+		reg = append(reg, exp.Experiment{ID: "F3", Seq: 2, Claim: "always fails",
+			Run: func(s exp.Scale) ([]*metrics.Table, error) {
+				return nil, errors.New("injected failure")
+			}})
+	}
+	if panics {
+		reg = append(reg, exp.Experiment{ID: "F4", Seq: 3, Claim: "always panics",
+			Run: func(s exp.Scale) ([]*metrics.Table, error) {
+				panic("injected panic")
+			}})
+	}
+	return reg
+}
+
+func TestRunSucceeds(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-scale", "quick", "-csv"}, fakeRegistry(false, false), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"### F1 — F1 claim", "### F2 — F2 claim", "# F1 table"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout.String())
+		}
+	}
+	if !strings.Contains(stderr.String(), "F1") {
+		t.Errorf("stderr carries no progress lines:\n%s", stderr.String())
+	}
+}
+
+func TestRunExitsNonZeroOnExperimentError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-scale", "quick", "-parallel", "1"}, fakeRegistry(true, false), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "injected failure") {
+		t.Errorf("stderr does not name the failure:\n%s", stderr.String())
+	}
+	// The healthy experiments' tables still print before the non-zero exit.
+	if !strings.Contains(stdout.String(), "### F1") {
+		t.Errorf("partial results were discarded:\n%s", stdout.String())
+	}
+}
+
+func TestRunExitsNonZeroOnPanic(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-scale", "quick", "-parallel", "1"}, fakeRegistry(false, true), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "injected panic") {
+		t.Errorf("stderr does not surface the panic:\n%s", stderr.String())
+	}
+}
+
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	// Same seed, different worker counts: stdout must be byte-identical.
+	// Uses the real registry restricted to fast experiments; CI runs the
+	// same check over the full suite.
+	var want string
+	for _, parallel := range []string{"1", "4", "16"} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-scale", "quick", "-csv", "-seed", "7",
+			"-exp", "E2,E3,E16", "-parallel", parallel, "-quiet"},
+			exp.Registry(), &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("parallel=%s: exit %d, stderr: %s", parallel, code, stderr.String())
+		}
+		if want == "" {
+			want = stdout.String()
+			continue
+		}
+		if stdout.String() != want {
+			t.Fatalf("parallel=%s stdout differs from parallel=1", parallel)
+		}
+	}
+}
+
+func TestRunSelectsAndOrders(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-scale", "quick", "-exp", "F2,F1"}, fakeRegistry(false, false), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "F2") || strings.Index(out, "### F2") > strings.Index(out, "### F1") {
+		t.Errorf("selection order not preserved:\n%s", out)
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-exp", "F9"}, fakeRegistry(false, false), &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestRunRejectsUnknownScale(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-scale", "huge"}, fakeRegistry(false, false), &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, fakeRegistry(false, false), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(stdout.String(), "F1 claim") {
+		t.Errorf("list output missing claims:\n%s", stdout.String())
+	}
+}

@@ -2,22 +2,32 @@
 // application templates scheduled by a chosen policy over the simulated
 // substrates, reporting completion times, money, energy and placements.
 //
+// With -reps N it runs N replications of the scenario concurrently
+// (bounded by -parallel), each on its own seed derived with
+// rng.Derive(-seed, rep) — so the replication table is identical for any
+// worker count, like offbench's suite.
+//
 // Usage:
 //
 //	offsim -policy deadline-aware -tasks 1000 -rate 0.02
 //	offsim -app sci-batch -policy cloud-all -trace run.jsonl
 //	offsim -no-edge -no-vm            # the framework's serverless-only deployment
+//	offsim -reps 10 -parallel 4       # seed-replicated confidence runs
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"runtime"
+	"sync"
 
 	"offload/internal/callgraph"
 	"offload/internal/core"
 	"offload/internal/metrics"
 	"offload/internal/model"
+	"offload/internal/rng"
 	"offload/internal/trace"
 	"offload/internal/workload"
 )
@@ -35,6 +45,8 @@ func main() {
 		traceFlag  = flag.String("trace", "", "write a JSONL task trace to this file")
 		replayFlag = flag.String("replay", "", "replay a JSONL task trace instead of generating a workload")
 		budgetFlag = flag.Float64("budget", 0, "daily serverless budget in USD (0 = unlimited)")
+		repsFlag   = flag.Int("reps", 1, "seed replications of the scenario (deterministic per -seed)")
+		parFlag    = flag.Int("parallel", 0, "worker pool for -reps (0 = NumCPU); output identical for any value")
 	)
 	flag.Parse()
 
@@ -52,6 +64,10 @@ func main() {
 		cfg.Batch = &core.BatchConfig{Size: *batchFlag, MaxWait: 3600}
 	}
 	cfg.DailyBudgetUSD = *budgetFlag
+
+	if *repsFlag > 1 && (*traceFlag != "" || *replayFlag != "") {
+		fail(fmt.Errorf("-reps is incompatible with -trace/-replay"))
+	}
 
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
@@ -98,6 +114,11 @@ func main() {
 			mix = append(mix, workload.WeightedTemplate{Template: t, Weight: 1})
 		}
 	}
+	if *repsFlag > 1 {
+		runReps(cfg, mix, *policyFlag, *tasksFlag, *rateFlag, *repsFlag, *parFlag)
+		return
+	}
+
 	gen, err := workload.NewGenerator(sys.Src.Split(), mix)
 	if err != nil {
 		fail(err)
@@ -107,6 +128,159 @@ func main() {
 	sys.Run()
 	printSummary(sys, *policyFlag, *tasksFlag, *rateFlag)
 	writeTrace(sys, *traceFlag)
+}
+
+// repStats is the deterministic slice of one replication's outcome.
+type repStats struct {
+	seed               uint64
+	completed, failed  uint64
+	meanS, p95S        float64
+	missRate           float64
+	usdPerTask, energy float64
+}
+
+// runReps executes reps independent replications of the scenario on a
+// bounded worker pool. Replication r runs with seed rng.Derive(base, r) —
+// a pure function of the base seed and the replication index — so the
+// table below is byte-identical for every -parallel value, and the
+// mean/stddev rows quantify seed sensitivity rather than scheduling luck.
+func runReps(cfg core.Config, mix []workload.WeightedTemplate, policy string, tasks int, rate float64, reps, workers int) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > reps {
+		workers = reps
+	}
+	stats := make([]repStats, reps)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var firstErr error
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range jobs {
+				st, err := runOneRep(cfg, mix, rate, tasks, rng.Derive(cfg.Seed, uint64(r)))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				stats[r] = st
+			}
+		}()
+	}
+	for r := 0; r < reps; r++ {
+		jobs <- r
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		fail(firstErr)
+	}
+
+	tbl := metrics.NewTable(
+		fmt.Sprintf("offsim: %s, %d tasks at %g/s, %d seed replications", policy, tasks, rate, reps),
+		"rep", "seed", "completed", "failed", "mean_s", "p95_s", "miss", "usd_per_task", "mJ_per_task")
+	var acc metricAccum
+	for r, st := range stats {
+		tbl.AddRow(
+			fmt.Sprintf("%d", r),
+			fmt.Sprintf("%d", st.seed),
+			fmt.Sprintf("%d", st.completed),
+			fmt.Sprintf("%d", st.failed),
+			fmt.Sprintf("%.4g", st.meanS),
+			fmt.Sprintf("%.4g", st.p95S),
+			fmt.Sprintf("%.1f%%", 100*st.missRate),
+			fmt.Sprintf("%.4g", st.usdPerTask),
+			fmt.Sprintf("%.4g", st.energy),
+		)
+		acc.observe(st)
+	}
+	acc.finishStddev(stats)
+	n := float64(reps)
+	tbl.AddRow("mean", "-", "-", "-",
+		fmt.Sprintf("%.4g", acc.meanS/n),
+		fmt.Sprintf("%.4g", acc.p95S/n),
+		fmt.Sprintf("%.1f%%", 100*acc.miss/n),
+		fmt.Sprintf("%.4g", acc.usd/n),
+		fmt.Sprintf("%.4g", acc.energy/n),
+	)
+	tbl.AddRow("stddev", "-", "-", "-",
+		fmt.Sprintf("%.3g", acc.sdMeanS),
+		fmt.Sprintf("%.3g", acc.sdP95S),
+		fmt.Sprintf("%.3g", acc.sdMiss),
+		fmt.Sprintf("%.3g", acc.sdUSD),
+		fmt.Sprintf("%.3g", acc.sdEnergy),
+	)
+	fmt.Println(tbl.String())
+}
+
+// metricAccum accumulates sums (and later stddevs) over replications.
+type metricAccum struct {
+	meanS, p95S, miss, usd, energy           float64
+	sdMeanS, sdP95S, sdMiss, sdUSD, sdEnergy float64
+}
+
+func (a *metricAccum) observe(st repStats) {
+	a.meanS += st.meanS
+	a.p95S += st.p95S
+	a.miss += st.missRate
+	a.usd += st.usdPerTask
+	a.energy += st.energy
+}
+
+func (a *metricAccum) finishStddev(stats []repStats) {
+	n := float64(len(stats))
+	if n < 2 {
+		return
+	}
+	var vMean, vP95, vMiss, vUSD, vEnergy float64
+	for _, st := range stats {
+		vMean += sq(st.meanS - a.meanS/n)
+		vP95 += sq(st.p95S - a.p95S/n)
+		vMiss += sq(st.missRate - a.miss/n)
+		vUSD += sq(st.usdPerTask - a.usd/n)
+		vEnergy += sq(st.energy - a.energy/n)
+	}
+	a.sdMeanS = math.Sqrt(vMean / (n - 1))
+	a.sdP95S = math.Sqrt(vP95 / (n - 1))
+	a.sdMiss = math.Sqrt(vMiss / (n - 1))
+	a.sdUSD = math.Sqrt(vUSD / (n - 1))
+	a.sdEnergy = math.Sqrt(vEnergy / (n - 1))
+}
+
+func sq(x float64) float64 { return x * x }
+
+// runOneRep builds a fresh system on the derived seed and runs the
+// scenario to completion.
+func runOneRep(cfg core.Config, mix []workload.WeightedTemplate, rate float64, tasks int, seed uint64) (repStats, error) {
+	cfg.Seed = seed
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return repStats{}, err
+	}
+	gen, err := workload.NewGenerator(sys.Src.Split(), mix)
+	if err != nil {
+		return repStats{}, err
+	}
+	sys.SubmitStream(workload.NewPoisson(sys.Src.Split(), rate), gen, tasks)
+	sys.Run()
+	st := sys.Stats()
+	return repStats{
+		seed:       seed,
+		completed:  st.Completed,
+		failed:     st.Failed,
+		meanS:      st.MeanCompletion(),
+		p95S:       st.P95Completion(),
+		missRate:   st.MissRate(),
+		usdPerTask: st.CostPerTask(),
+		energy:     st.EnergyPerTaskMilliJ(),
+	}, nil
 }
 
 func printSummary(sys *core.System, label string, tasks int, rate float64) {

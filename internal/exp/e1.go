@@ -50,7 +50,7 @@ func e1ConfigFor(policy core.PolicyName) core.Config {
 // micro-dollar marginal cost; LocalOnly pays no money but the most energy
 // and the worst completion times (it saturates the device on the heavy
 // templates); DeadlineAware never does worse on misses than CloudAll.
-func E1Placement(s Scale) []*metrics.Table {
+func E1Placement(s Scale) ([]*metrics.Table, error) {
 	tbl := metrics.NewTable(
 		"E1 (Fig 1): placement policies across application templates",
 		"app", "policy", "mean_s", "p95_s", "miss", "task_usd", "infra_usd", "task_mJ")
@@ -58,7 +58,7 @@ func E1Placement(s Scale) []*metrics.Table {
 	for _, app := range apps {
 		mix, err := templateMix(app)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		for _, policy := range e1Policies {
 			cfg := e1ConfigFor(policy)
@@ -66,7 +66,7 @@ func E1Placement(s Scale) []*metrics.Table {
 			cfg.ArrivalRateHint = e1Rate
 			res, err := runCell(cfg, mix, e1Rate, s.Tasks)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			st := res.stats
 			tbl.AddRow(app, string(policy),
@@ -79,5 +79,5 @@ func E1Placement(s Scale) []*metrics.Table {
 			)
 		}
 	}
-	return []*metrics.Table{tbl}
+	return []*metrics.Table{tbl}, nil
 }

@@ -19,10 +19,10 @@ import (
 // dollars), underestimates buy undersized functions (raising billed time).
 // Deadline misses stay at zero throughout: the generous non-time-critical
 // budgets absorb the error, which is itself part of the paper's argument.
-func E10PredictionError(s Scale) []*metrics.Table {
+func E10PredictionError(s Scale) ([]*metrics.Table, error) {
 	mix, err := standardMixTemplates()
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	tbl := metrics.NewTable(
 		"E10 (Tab 4): impact of demand-prediction error on the framework",
@@ -45,7 +45,7 @@ func E10PredictionError(s Scale) []*metrics.Table {
 		cfg.RedeployTolerance = 0.3
 		res, err := runCell(cfg, mix, e1Rate, s.Tasks)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		cost := res.stats.CostPerTask()
 		if noise == 0 {
@@ -69,5 +69,5 @@ func E10PredictionError(s Scale) []*metrics.Table {
 			pct(cloudShare),
 		)
 	}
-	return []*metrics.Table{tbl}
+	return []*metrics.Table{tbl}, nil
 }

@@ -19,10 +19,10 @@ import (
 // afford the wait and the two policies converge; deadline misses stay at
 // zero in both — the shifter only delays tasks that can prove they still
 // make their deadline.
-func E11OffPeak(s Scale) []*metrics.Table {
+func E11OffPeak(s Scale) ([]*metrics.Table, error) {
 	mix, err := standardMixTemplates()
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	tbl := metrics.NewTable(
 		"E11 (Tab 5): shifting delay-tolerant work into the off-peak window",
@@ -50,7 +50,7 @@ func E11OffPeak(s Scale) []*metrics.Table {
 			cfg.OffPeakShift = shift
 			res, err := runCellAt(cfg, scaled, e1Rate, s.Tasks, startAt)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			cost := res.stats.CostPerTask()
 			if !shift {
@@ -76,5 +76,5 @@ func E11OffPeak(s Scale) []*metrics.Table {
 			)
 		}
 	}
-	return []*metrics.Table{tbl}
+	return []*metrics.Table{tbl}, nil
 }

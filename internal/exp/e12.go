@@ -18,10 +18,10 @@ import (
 // rate^attempts while cost per task rises by about the failure rate (the
 // re-billed attempts) and completion time absorbs the backoff. Deadline
 // misses stay at zero — another place the non-time-critical budget pays.
-func E12Failures(s Scale) []*metrics.Table {
+func E12Failures(s Scale) ([]*metrics.Table, error) {
 	mix, err := templateMix("report-gen")
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	tbl := metrics.NewTable(
 		"E12 (Tab 6): transient failures, with and without retries",
@@ -41,7 +41,7 @@ func E12Failures(s Scale) []*metrics.Table {
 			cfg.RetryBackoff = 5
 			res, err := runCell(cfg, mix, e1Rate, s.Tasks)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			st := res.stats
 			tbl.AddRow(
@@ -55,5 +55,5 @@ func E12Failures(s Scale) []*metrics.Table {
 			)
 		}
 	}
-	return []*metrics.Table{tbl}
+	return []*metrics.Table{tbl}, nil
 }

@@ -16,7 +16,7 @@ import (
 // order of magnitude on compute-heavy apps. DVFS narrows but does not
 // close the gap — supporting the paper's choice of offloading over
 // on-device power management.
-func E13DVFS(s Scale) []*metrics.Table {
+func E13DVFS(s Scale) ([]*metrics.Table, error) {
 	tbl := metrics.NewTable(
 		"E13 (Tab 7): race-to-idle vs DVFS vs offloading",
 		"app", "mode", "task_mJ", "mean_s", "miss", "vs_full")
@@ -39,7 +39,7 @@ func E13DVFS(s Scale) []*metrics.Table {
 	for _, app := range apps {
 		mix, err := templateMix(app)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		fullEnergy := 0.0
 		for _, mode := range modes {
@@ -58,7 +58,7 @@ func E13DVFS(s Scale) []*metrics.Table {
 			}
 			res, err := runCell(cfg, mix, rate, s.Tasks)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			energy := res.stats.EnergyPerTaskMilliJ()
 			if mode.name == "local-full-speed" {
@@ -76,5 +76,5 @@ func E13DVFS(s Scale) []*metrics.Table {
 			)
 		}
 	}
-	return []*metrics.Table{tbl}
+	return []*metrics.Table{tbl}, nil
 }

@@ -19,10 +19,10 @@ import (
 // autoscaler lands in between (its 60 s boot delay lags each burst), and
 // serverless degrades the least because every invocation gets its own
 // container (only the device radio and the account limit are shared).
-func E14Bursts(s Scale) []*metrics.Table {
+func E14Bursts(s Scale) ([]*metrics.Table, error) {
 	mix, err := templateMix("report-gen")
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	tbl := metrics.NewTable(
 		"E14 (Tab 8): absorbing bursty arrivals (equal long-run rate)",
@@ -73,11 +73,11 @@ func E14Bursts(s Scale) []*metrics.Table {
 
 			sys, err := core.NewSystem(cfg)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			gen, err := workload.NewGenerator(sys.Src.Split(), mix)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			var arr workload.Arrivals
 			if arrivals == "steady" {
@@ -98,5 +98,5 @@ func E14Bursts(s Scale) []*metrics.Table {
 			)
 		}
 	}
-	return []*metrics.Table{tbl}
+	return []*metrics.Table{tbl}, nil
 }

@@ -30,21 +30,27 @@ import (
 // its lightest work. Neither dominates — the gap per run is small, which
 // is itself the finding: granularity is an operational choice (rollback
 // scope, canary precision), not a cost cliff.
-func E15Granularity(s Scale) []*metrics.Table {
+func E15Granularity(s Scale) ([]*metrics.Table, error) {
 	tbl := metrics.NewTable(
 		"E15 (Tab 9): one aggregated function vs one function per component",
 		"app", "deployment", "functions", "run_s", "run_usd", "run_mJ")
 	const runs = 5
 	for _, app := range []string{"ml-batch", "sci-batch", "report-gen"} {
 		g := callgraph.Templates()[app]
-		mono := runMonolithic(s, g, runs)
+		mono, err := runMonolithic(s, g, runs)
+		if err != nil {
+			return nil, err
+		}
 		tbl.AddRow(app, "monolithic", "1",
 			seconds(mono.meanS), usd(mono.meanUSD), fmtMilliJ(mono.meanMJ))
-		per := runPerComponent(s, g, runs)
+		per, err := runPerComponent(s, g, runs)
+		if err != nil {
+			return nil, err
+		}
 		tbl.AddRow(app, "per-component", fmt.Sprintf("%d", per.functions),
 			seconds(per.meanS), usd(per.meanUSD), fmtMilliJ(per.meanMJ))
 	}
-	return []*metrics.Table{tbl}
+	return []*metrics.Table{tbl}, nil
 }
 
 type granResult struct {
@@ -62,11 +68,11 @@ func e15Fixture(seed uint64) (*sim.Engine, *device.Device, *network.Path, *serve
 
 // runMonolithic executes the app as the aggregate task the function pool
 // would build: one function sized for the whole offloadable side.
-func runMonolithic(s Scale, g *callgraph.Graph, runs int) granResult {
+func runMonolithic(s Scale, g *callgraph.Graph, runs int) (granResult, error) {
 	eng, dev, path, platform := e15Fixture(s.Seed)
 	tmpl, err := workload.FromGraph(g)
 	if err != nil {
-		panic(err)
+		return granResult{}, err
 	}
 	allocator := alloc.New(platform.Config())
 	dec, err := allocator.Choose(alloc.Request{
@@ -76,13 +82,13 @@ func runMonolithic(s Scale, g *callgraph.Graph, runs int) granResult {
 		ColdStartProb:    1,
 	})
 	if err != nil {
-		panic(err)
+		return granResult{}, err
 	}
 	fn, err := platform.Deploy(serverless.FunctionConfig{
 		Name: g.Name() + "-all", MemoryBytes: dec.MemoryBytes,
 	})
 	if err != nil {
-		panic(err)
+		return granResult{}, err
 	}
 
 	var out granResult
@@ -116,12 +122,12 @@ func runMonolithic(s Scale, g *callgraph.Graph, runs int) granResult {
 	out.meanS = durS / float64(runs)
 	out.meanUSD = usdSum / float64(runs)
 	out.meanMJ = mj / float64(runs)
-	return out
+	return out, nil
 }
 
 // runPerComponent executes the app through the chain runner with every
 // non-pinned component on its own allocator-sized function.
-func runPerComponent(s Scale, g *callgraph.Graph, runs int) granResult {
+func runPerComponent(s Scale, g *callgraph.Graph, runs int) (granResult, error) {
 	eng, dev, path, platform := e15Fixture(s.Seed + 100)
 	allocator := alloc.New(platform.Config())
 	assignment := partition.AllRemote(g)
@@ -139,13 +145,13 @@ func runPerComponent(s Scale, g *callgraph.Graph, runs int) granResult {
 			ColdStartProb:    1,
 		})
 		if err != nil {
-			panic(err)
+			return granResult{}, err
 		}
 		fn, err := platform.Deploy(serverless.FunctionConfig{
 			Name: g.Name() + "-" + comp.Name, MemoryBytes: dec.MemoryBytes,
 		})
 		if err != nil {
-			panic(err)
+			return granResult{}, err
 		}
 		fns[comp.Name] = fn
 		count++
@@ -154,12 +160,13 @@ func runPerComponent(s Scale, g *callgraph.Graph, runs int) granResult {
 		Graph: g, Assignment: assignment, Device: dev, Path: path, Functions: fns,
 	})
 	if err != nil {
-		panic(err)
+		return granResult{}, err
 	}
 
 	var out granResult
 	out.functions = count
 	var durS, usdSum, mj float64
+	var runErr error
 	var runOnce func(i int)
 	runOnce = func(i int) {
 		if i >= runs {
@@ -167,7 +174,8 @@ func runPerComponent(s Scale, g *callgraph.Graph, runs int) granResult {
 		}
 		runner.Run(func(res chain.Result) {
 			if res.Failed {
-				panic(fmt.Sprintf("e15: %s chain run failed", g.Name()))
+				runErr = fmt.Errorf("e15: %s chain run %d failed", g.Name(), i)
+				return
 			}
 			durS += float64(res.Duration())
 			usdSum += res.CostUSD
@@ -177,8 +185,11 @@ func runPerComponent(s Scale, g *callgraph.Graph, runs int) granResult {
 	}
 	runOnce(0)
 	eng.Run()
+	if runErr != nil {
+		return granResult{}, runErr
+	}
 	out.meanS = durS / float64(runs)
 	out.meanUSD = usdSum / float64(runs)
 	out.meanMJ = mj / float64(runs)
-	return out
+	return out, nil
 }

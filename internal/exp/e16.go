@@ -19,7 +19,7 @@ import (
 // providers converge to their per-GB-second list prices. The allocator
 // adapts its memory choice per provider (their CPU/memory curves differ),
 // which is exactly why resource allocation must be provider-aware.
-func E16Providers(s Scale) []*metrics.Table {
+func E16Providers(s Scale) ([]*metrics.Table, error) {
 	providers := []serverless.Config{serverless.LambdaLike(), serverless.GCFLike()}
 	profiles := []struct {
 		name string
@@ -40,7 +40,7 @@ func E16Providers(s Scale) []*metrics.Table {
 			a := alloc.New(cfg)
 			d, err := a.Choose(p.req)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			if i == 0 {
 				base = d.ExpectedCostUSD
@@ -57,5 +57,5 @@ func E16Providers(s Scale) []*metrics.Table {
 			)
 		}
 	}
-	return []*metrics.Table{tbl}
+	return []*metrics.Table{tbl}, nil
 }

@@ -26,7 +26,7 @@ var e2Profiles = []struct {
 // Expected shape: time is non-increasing in memory; cost is U-shaped
 // (memory pressure on the left, wasted GB-seconds on the right); the
 // allocator's pick coincides with the sweep minimum.
-func E2MemorySweep(s Scale) []*metrics.Table {
+func E2MemorySweep(s Scale) ([]*metrics.Table, error) {
 	cfg := serverless.LambdaLike()
 	allocator := alloc.New(cfg)
 
@@ -40,11 +40,11 @@ func E2MemorySweep(s Scale) []*metrics.Table {
 	for _, p := range e2Profiles {
 		sweep, err := allocator.Sweep(p.req)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		chosen, err := allocator.Choose(p.req)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		var best alloc.Decision
 		haveBest := false
@@ -80,5 +80,5 @@ func E2MemorySweep(s Scale) []*metrics.Table {
 			usd(chosen.ExpectedCostUSD),
 			usd(best.ExpectedCostUSD))
 	}
-	return []*metrics.Table{curve, choice}
+	return []*metrics.Table{curve, choice}, nil
 }

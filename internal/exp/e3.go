@@ -26,28 +26,28 @@ func e3Model() partition.CostModel {
 // Expected shape: min-cut matches the brute-force optimum everywhere;
 // greedy lands within a few percent; annealing closes most of greedy's
 // remaining gap; all informed algorithms beat all-local and all-remote.
-func E3Partition(s Scale) []*metrics.Table {
+func E3Partition(s Scale) ([]*metrics.Table, error) {
 	m := e3Model()
 	tbl := metrics.NewTable(
 		"E3 (Tab 1): partition objective by algorithm (lower is better)",
 		"graph", "n", "all_local", "all_remote", "greedy", "anneal", "min_cut", "optimal", "mincut_gap")
 
-	run := func(name string, g *callgraph.Graph, seed uint64) {
+	run := func(name string, g *callgraph.Graph, seed uint64) error {
 		bf, err := partition.BruteForce(g, m)
 		if err != nil {
-			panic(err)
+			return err
 		}
 		mc, err := partition.MinCut(g, m)
 		if err != nil {
-			panic(err)
+			return err
 		}
 		gr, err := partition.Greedy(g, m)
 		if err != nil {
-			panic(err)
+			return err
 		}
 		an, err := partition.Anneal(g, m, newSeedSource(seed+500), partition.DefaultAnneal())
 		if err != nil {
-			panic(err)
+			return err
 		}
 		gap := 0.0
 		if bf.Objective > 0 {
@@ -62,16 +62,21 @@ func E3Partition(s Scale) []*metrics.Table {
 			fmt.Sprintf("%.4g", bf.Objective),
 			pct(gap),
 		)
+		return nil
 	}
 
 	for _, name := range callgraph.TemplateNames() {
-		run(name, callgraph.Templates()[name], s.Seed)
+		if err := run(name, callgraph.Templates()[name], s.Seed); err != nil {
+			return nil, err
+		}
 	}
 	for i := 0; i < s.RandomSeeds; i++ {
 		seed := s.Seed + uint64(i)*7919
 		n := 8 + i%7 // 8..14 components
 		g := callgraph.Random(newSeedSource(seed), n)
-		run(fmt.Sprintf("random-%02d", i), g, seed)
+		if err := run(fmt.Sprintf("random-%02d", i), g, seed); err != nil {
+			return nil, err
+		}
 	}
-	return []*metrics.Table{tbl}
+	return []*metrics.Table{tbl}, nil
 }

@@ -16,10 +16,10 @@ import (
 // keep-alive (approximately exp(-rate·keepAlive)); with keep-alive zero
 // every invocation is cold; batching at low rates removes most cold
 // starts (one per batch) at the price of completion latency.
-func E4ColdStart(s Scale) []*metrics.Table {
+func E4ColdStart(s Scale) ([]*metrics.Table, error) {
 	mix, err := templateMix("report-gen")
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 
 	rates := []float64{0.002, 0.02, 0.2, 2}
@@ -39,7 +39,7 @@ func E4ColdStart(s Scale) []*metrics.Table {
 			cfg.ArrivalRateHint = rate
 			res, err := runCell(cfg, mix, rate, s.Tasks)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			coldTbl.AddRow(
 				fmt.Sprintf("%g", rate),
@@ -67,7 +67,7 @@ func E4ColdStart(s Scale) []*metrics.Table {
 		}
 		res, err := runCell(cfg, mix, 0.002, s.Tasks)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		batchTbl.AddRow(
 			fmt.Sprintf("%d", size),
@@ -94,7 +94,7 @@ func E4ColdStart(s Scale) []*metrics.Table {
 			}
 			res, err := runCell(cfg, mix, rate, s.Tasks)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			sized := res.system.Env.Functions.Sized("report-gen")
 			ablTbl.AddRow(
@@ -121,7 +121,7 @@ func E4ColdStart(s Scale) []*metrics.Table {
 			cfg.ProvisionedConcurrency = prov
 			res, err := runCell(cfg, mix, rate, s.Tasks)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			capacityPerTask := 0.0
 			if res.stats.Completed > 0 {
@@ -138,5 +138,5 @@ func E4ColdStart(s Scale) []*metrics.Table {
 			)
 		}
 	}
-	return []*metrics.Table{coldTbl, batchTbl, ablTbl, provTbl}
+	return []*metrics.Table{coldTbl, batchTbl, ablTbl, provTbl}, nil
 }

@@ -19,7 +19,7 @@ import (
 // cloud policies extend battery life by a large factor. For the
 // transfer-heavy video template the gap narrows — radio time is the
 // break-even.
-func E5Energy(s Scale) []*metrics.Table {
+func E5Energy(s Scale) ([]*metrics.Table, error) {
 	policies := []core.PolicyName{core.PolicyLocalOnly, core.PolicyEdgeAll,
 		core.PolicyCloudAll, core.PolicyDeadlineAware}
 	apps := []string{"sci-batch", "report-gen", "video-transcode"}
@@ -30,7 +30,7 @@ func E5Energy(s Scale) []*metrics.Table {
 	for _, app := range apps {
 		mix, err := templateMix(app)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		localPerTask := 0.0
 		for _, policy := range policies {
@@ -44,7 +44,7 @@ func E5Energy(s Scale) []*metrics.Table {
 			cfg.Device.BatteryJ = 0
 			res, err := runCell(cfg, mix, e1Rate, s.Tasks)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			perTaskMilliJ := res.stats.EnergyPerTaskMilliJ()
 			if policy == core.PolicyLocalOnly {
@@ -74,7 +74,7 @@ func E5Energy(s Scale) []*metrics.Table {
 	for _, app := range []string{"report-gen", "sci-batch"} {
 		mix, err := templateMix(app)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		localPerTask := 0.0
 		{
@@ -84,7 +84,7 @@ func E5Energy(s Scale) []*metrics.Table {
 			cfg.Device.BatteryJ = 0
 			res, err := runCell(cfg, mix, e1Rate, s.Tasks)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			localPerTask = res.stats.EnergyPerTaskMilliJ()
 		}
@@ -102,7 +102,7 @@ func E5Energy(s Scale) []*metrics.Table {
 			cfg.Device.BatteryJ = 0
 			res, err := runCell(cfg, mix, e1Rate, s.Tasks)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			perTask := res.stats.EnergyPerTaskMilliJ()
 			ext := 0.0
@@ -112,7 +112,7 @@ func E5Energy(s Scale) []*metrics.Table {
 			tailTbl.AddRow(app, conn, fmtMilliJ(perTask), fmt.Sprintf("%.1fx", ext))
 		}
 	}
-	return []*metrics.Table{tbl, tailTbl}
+	return []*metrics.Table{tbl, tailTbl}, nil
 }
 
 // fmtMilliJ renders a millijoule figure compactly.

@@ -18,10 +18,10 @@ import (
 // zero and the curves converge: exactly the claim that non-time-critical
 // use cases can neglect edge computing's advantage. DeadlineAware tracks
 // the best feasible option across the whole sweep.
-func E6DeadlineSlack(s Scale) []*metrics.Table {
+func E6DeadlineSlack(s Scale) ([]*metrics.Table, error) {
 	mix, err := standardMixTemplates()
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	policies := []core.PolicyName{core.PolicyLocalOnly, core.PolicyEdgeAll,
 		core.PolicyCloudAll, core.PolicyDeadlineAware}
@@ -39,7 +39,7 @@ func E6DeadlineSlack(s Scale) []*metrics.Table {
 			cfg.ArrivalRateHint = e1Rate
 			res, err := runCell(cfg, scaled, e1Rate, s.Tasks)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			tbl.AddRow(
 				fmt.Sprintf("%g", factor),
@@ -50,5 +50,5 @@ func E6DeadlineSlack(s Scale) []*metrics.Table {
 			)
 		}
 	}
-	return []*metrics.Table{tbl}
+	return []*metrics.Table{tbl}, nil
 }

@@ -20,10 +20,10 @@ import (
 // its hourly price; the edge site is a flat line that only makes sense at
 // high volume — "the required infrastructure" drawback the abstract
 // calls out.
-func E7CostCrossover(s Scale) []*metrics.Table {
+func E7CostCrossover(s Scale) ([]*metrics.Table, error) {
 	mix, err := templateMix("report-gen")
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	const hoursPerMonth = 730.0
 
@@ -46,7 +46,7 @@ func E7CostCrossover(s Scale) []*metrics.Table {
 		cfg.ArrivalRateHint = rate
 		res, err := runCell(cfg, mix, rate, s.Tasks)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		perTask := res.stats.CostPerTask()
 		serverlessMonthly := perTask * perHour * hoursPerMonth
@@ -75,5 +75,5 @@ func E7CostCrossover(s Scale) []*metrics.Table {
 			cheapest,
 		)
 	}
-	return []*metrics.Table{tbl}
+	return []*metrics.Table{tbl}, nil
 }

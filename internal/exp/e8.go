@@ -16,6 +16,16 @@ import (
 	"offload/internal/sim"
 )
 
+// e8Build pairs a pipeline build with the simulation engine its platform
+// runs on. Earlier versions kept a package-level platform→engine map,
+// which was shared mutable state; carrying the engine explicitly keeps
+// E8 a pure function of its Scale so it can run concurrently with the
+// rest of the suite.
+type e8Build struct {
+	build *cicd.Build
+	eng   *sim.Engine
+}
+
 // E8Pipeline reproduces the CI/CD integration analysis (Table 3):
 // per-stage durations of a vanilla deploy pipeline versus the
 // offload-integrated pipeline on three application templates, plus a
@@ -26,7 +36,7 @@ import (
 // existing unit-test stage, so end-to-end overhead stays well below the
 // stage-sum; the injected regression fails the canary, the deployment
 // rolls back, and release is skipped.
-func E8Pipeline(s Scale) []*metrics.Table {
+func E8Pipeline(s Scale) ([]*metrics.Table, error) {
 	apps := []string{"report-gen", "ml-batch", "sci-batch"}
 
 	stageTbl := metrics.NewTable(
@@ -38,8 +48,14 @@ func E8Pipeline(s Scale) []*metrics.Table {
 
 	for _, app := range apps {
 		g := callgraph.Templates()[app]
-		vanRep := runPipeline(s, &cicd.Build{App: g})
-		offRep := runPipeline(s, newE8Build(s, g, 0, nil))
+		vanRep, _, err := runPipeline(e8Build{build: &cicd.Build{App: g}, eng: sim.NewEngine()})
+		if err != nil {
+			return nil, err
+		}
+		offRep, _, err := runPipeline(newE8Build(s, g, 0, nil))
+		if err != nil {
+			return nil, err
+		}
 		for _, res := range vanRep.Results {
 			stageTbl.AddRow(app, "vanilla", res.Name,
 				seconds(float64(res.Start)), seconds(float64(res.Duration())))
@@ -61,59 +77,54 @@ func E8Pipeline(s Scale) []*metrics.Table {
 		"E8 (Tab 3c): canary verdict and rollback on an injected regression",
 		"round", "canary_mean_s", "canary_slo_s", "passed", "rolled_back", "released")
 	g := callgraph.Templates()["report-gen"]
-	healthy := newE8Build(s, g, 0, nil)
-	healthyRep, healthyCtx := runPipelineCtx(s, healthy)
+	healthyRep, healthyCtx, err := runPipeline(newE8Build(s, g, 0, nil))
+	if err != nil {
+		return nil, err
+	}
 	addRollbackRow(rbTbl, "healthy", healthyRep, healthyCtx)
 
 	var prev *cicd.Manifest
 	if mv, ok := healthyCtx.Get(cicd.KeyManifest); ok {
 		prev = mv.(*cicd.Manifest)
 	}
-	regressed := newE8Build(s, g, 5, prev)
-	regRep, regCtx := runPipelineCtx(s, regressed)
+	regRep, regCtx, err := runPipeline(newE8Build(s, g, 5, prev))
+	if err != nil {
+		return nil, err
+	}
 	addRollbackRow(rbTbl, "regressed(5x)", regRep, regCtx)
 
-	return []*metrics.Table{stageTbl, totalTbl, rbTbl}
+	return []*metrics.Table{stageTbl, totalTbl, rbTbl}, nil
 }
 
-func newE8Build(s Scale, g *callgraph.Graph, regression float64, prev *cicd.Manifest) *cicd.Build {
+func newE8Build(s Scale, g *callgraph.Graph, regression float64, prev *cicd.Manifest) e8Build {
 	eng := sim.NewEngine()
 	platform := serverless.NewPlatform(eng, rng.New(s.Seed), serverless.LambdaLike())
-	e8Engines[platform] = eng
-	return &cicd.Build{
-		App:              g,
-		Platform:         platform,
-		Meter:            profile.NewMeter(rng.New(s.Seed+1), 0.05),
-		Cost:             core.CostModelFor(device.Smartphone(), serverless.LambdaLike(), serverless.LambdaLike().FullShareBytes, network.WiFiCloud(), core.DefaultWeights()),
-		ProfileRuns:      30,
-		Canary:           cicd.CanarySpec{Invocations: 5, SLOFactor: 2},
-		Previous:         prev,
-		InjectRegression: regression,
-		WithOffload:      true,
+	return e8Build{
+		eng: eng,
+		build: &cicd.Build{
+			App:              g,
+			Platform:         platform,
+			Meter:            profile.NewMeter(rng.New(s.Seed+1), 0.05),
+			Cost:             core.CostModelFor(device.Smartphone(), serverless.LambdaLike(), serverless.LambdaLike().FullShareBytes, network.WiFiCloud(), core.DefaultWeights()),
+			ProfileRuns:      30,
+			Canary:           cicd.CanarySpec{Invocations: 5, SLOFactor: 2},
+			Previous:         prev,
+			InjectRegression: regression,
+			WithOffload:      true,
+		},
 	}
 }
 
-var e8Engines = map[*serverless.Platform]*sim.Engine{}
-
-func runPipeline(s Scale, b *cicd.Build) cicd.Report {
-	rep, _ := runPipelineCtx(s, b)
-	return rep
-}
-
-func runPipelineCtx(s Scale, b *cicd.Build) (cicd.Report, *cicd.Context) {
-	p, err := b.Pipeline()
+func runPipeline(b e8Build) (cicd.Report, *cicd.Context, error) {
+	p, err := b.build.Pipeline()
 	if err != nil {
-		panic(err)
-	}
-	eng := e8Engines[b.Platform]
-	if eng == nil {
-		eng = sim.NewEngine()
+		return cicd.Report{}, nil, err
 	}
 	ctx := cicd.NewContext()
 	var rep cicd.Report
-	p.Run(eng, ctx, func(r cicd.Report) { rep = r })
-	eng.Run()
-	return rep, ctx
+	p.Run(b.eng, ctx, func(r cicd.Report) { rep = r })
+	b.eng.Run()
+	return rep, ctx, nil
 }
 
 func addRollbackRow(tbl *metrics.Table, round string, rep cicd.Report, ctx *cicd.Context) {

@@ -37,15 +37,26 @@ func Full() Scale {
 }
 
 // Experiment is one runnable entry of the suite.
+//
+// Run is a pure function of its Scale: it must not read or write any
+// package-level mutable state, so that the Runner can execute experiments
+// concurrently and still produce bit-identical tables. Expected failures
+// (bad configuration, infeasible allocation) come back as errors;
+// panics are reserved for programming bugs, and the Runner converts them
+// into errors rather than crashing the suite.
 type Experiment struct {
 	ID    string
+	Seq   int // canonical position in the registry; seeds derive from it
 	Claim string
-	Run   func(Scale) []*metrics.Table
+	Run   func(Scale) ([]*metrics.Table, error)
 }
 
-// Registry returns the full suite in canonical order.
+// Registry returns the full suite in canonical order. Each experiment's
+// Seq is its index here; rng.Derive(baseSeed, Seq) gives it a private
+// seed stream regardless of which subset of the suite runs or in what
+// order — see Runner.
 func Registry() []Experiment {
-	return []Experiment{
+	reg := []Experiment{
 		{ID: "E1", Claim: "cloud serverless suffices for non-time-critical workloads", Run: E1Placement},
 		{ID: "E2", Claim: "serverless resource allocation finds the cost-optimal memory", Run: E2MemorySweep},
 		{ID: "E3", Claim: "min-cut code partitioning is optimal and cheap", Run: E3Partition},
@@ -63,6 +74,10 @@ func Registry() []Experiment {
 		{ID: "E15", Claim: "deployment granularity is an operational choice, not a cost cliff", Run: E15Granularity},
 		{ID: "E16", Claim: "resource allocation must be provider-aware (billing granularity)", Run: E16Providers},
 	}
+	for i := range reg {
+		reg[i].Seq = i
+	}
+	return reg
 }
 
 // ByID returns the experiment with the given ID.

@@ -75,7 +75,10 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestE1Shape(t *testing.T) {
-	tables := E1Placement(Quick())
+	tables, err := E1Placement(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	header, data := rows(t, tables[0])
 	if len(data) != 25 { // 5 apps × 5 policies
 		t.Fatalf("E1 has %d rows, want 25", len(data))
@@ -131,7 +134,10 @@ func jEnergy(t *testing.T, cell string) float64 {
 }
 
 func TestE2Shape(t *testing.T) {
-	tables := E2MemorySweep(Quick())
+	tables, err := E2MemorySweep(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	_, curve := rows(t, tables[0])
 	if len(curve) < 20 {
 		t.Fatalf("E2 curve has %d rows", len(curve))
@@ -152,7 +158,10 @@ func TestE2Shape(t *testing.T) {
 }
 
 func TestE3Shape(t *testing.T) {
-	tables := E3Partition(Quick())
+	tables, err := E3Partition(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	header, data := rows(t, tables[0])
 	gap := col(t, header, "mincut_gap")
 	mc := col(t, header, "min_cut")
@@ -173,7 +182,10 @@ func TestE3Shape(t *testing.T) {
 }
 
 func TestE4Shape(t *testing.T) {
-	tables := E4ColdStart(Quick())
+	tables, err := E4ColdStart(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	header, data := rows(t, tables[0])
 	rate := col(t, header, "rate_per_s")
 	ka := col(t, header, "keepalive_s")
@@ -209,7 +221,10 @@ func TestE4Shape(t *testing.T) {
 }
 
 func TestE5Shape(t *testing.T) {
-	tables := E5Energy(Quick())
+	tables, err := E5Energy(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	header, data := rows(t, tables[0])
 	policy := col(t, header, "policy")
 	ext := col(t, header, "extension_x")
@@ -228,7 +243,10 @@ func TestE5Shape(t *testing.T) {
 }
 
 func TestE6Shape(t *testing.T) {
-	tables := E6DeadlineSlack(Quick())
+	tables, err := E6DeadlineSlack(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	header, data := rows(t, tables[0])
 	slack := col(t, header, "slack_x")
 	policy := col(t, header, "policy")
@@ -265,7 +283,10 @@ func TestE6Shape(t *testing.T) {
 }
 
 func TestE7Shape(t *testing.T) {
-	tables := E7CostCrossover(Quick())
+	tables, err := E7CostCrossover(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	header, data := rows(t, tables[0])
 	cheapest := col(t, header, "cheapest")
 	// Serverless cheapest at the lowest volume; not at the highest.
@@ -288,7 +309,10 @@ func TestE7Shape(t *testing.T) {
 }
 
 func TestE8Shape(t *testing.T) {
-	tables := E8Pipeline(Quick())
+	tables, err := E8Pipeline(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	_, totals := rows(t, tables[1])
 	header := []string{"app", "vanilla_s", "offload_s", "overhead"}
 	for _, r := range totals {
@@ -315,7 +339,10 @@ func TestE8Shape(t *testing.T) {
 }
 
 func TestE9Shape(t *testing.T) {
-	tables := E9Scalability(Quick())
+	tables, err := E9Scalability(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	header, data := rows(t, tables[0])
 	devices := col(t, header, "devices")
 	miss := col(t, header, "miss")
@@ -336,7 +363,10 @@ func TestE9Shape(t *testing.T) {
 }
 
 func TestE11Shape(t *testing.T) {
-	tables := E11OffPeak(Quick())
+	tables, err := E11OffPeak(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	header, data := rows(t, tables[0])
 	slack := col(t, header, "slack_x")
 	shifting := col(t, header, "shifting")
@@ -374,7 +404,10 @@ func TestE11Shape(t *testing.T) {
 }
 
 func TestE12Shape(t *testing.T) {
-	tables := E12Failures(Quick())
+	tables, err := E12Failures(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	header, data := rows(t, tables[0])
 	rate := col(t, header, "failure_rate")
 	retries := col(t, header, "retries")
@@ -407,7 +440,10 @@ func TestE12Shape(t *testing.T) {
 }
 
 func TestE13Shape(t *testing.T) {
-	tables := E13DVFS(Quick())
+	tables, err := E13DVFS(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	header, data := rows(t, tables[0])
 	app := col(t, header, "app")
 	mode := col(t, header, "mode")
@@ -432,7 +468,10 @@ func TestE13Shape(t *testing.T) {
 }
 
 func TestE14Shape(t *testing.T) {
-	tables := E14Bursts(Quick())
+	tables, err := E14Bursts(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	header, data := rows(t, tables[0])
 	arrivals := col(t, header, "arrivals")
 	backend := col(t, header, "backend")
@@ -465,7 +504,10 @@ func TestE14Shape(t *testing.T) {
 }
 
 func TestE15Shape(t *testing.T) {
-	tables := E15Granularity(Quick())
+	tables, err := E15Granularity(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	header, data := rows(t, tables[0])
 	app := col(t, header, "app")
 	deployment := col(t, header, "deployment")
@@ -497,7 +539,10 @@ func TestE15Shape(t *testing.T) {
 }
 
 func TestE16Shape(t *testing.T) {
-	tables := E16Providers(Quick())
+	tables, err := E16Providers(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	header, data := rows(t, tables[0])
 	profile := col(t, header, "profile")
 	provider := col(t, header, "provider")
@@ -526,7 +571,10 @@ func TestE16Shape(t *testing.T) {
 }
 
 func TestE10Shape(t *testing.T) {
-	tables := E10PredictionError(Quick())
+	tables, err := E10PredictionError(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
 	header, data := rows(t, tables[0])
 	relErr := col(t, header, "rel_error")
 	miss := col(t, header, "miss")

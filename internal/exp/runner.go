@@ -1,0 +1,168 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"offload/internal/metrics"
+	"offload/internal/rng"
+)
+
+// Result is the outcome of one experiment executed by a Runner.
+type Result struct {
+	ID     string
+	Claim  string
+	Seed   uint64 // the derived seed the experiment ran with
+	Tables []*metrics.Table
+	// Err is non-nil when the experiment returned an error, panicked
+	// (the panic message and stack are captured in the error), or was
+	// skipped because the suite was cancelled before it started.
+	Err     error
+	Skipped bool // cancelled before the experiment started
+
+	// Elapsed is the experiment's wall-clock time. AllocBytes is the
+	// growth of the process-wide cumulative heap allocation across the
+	// run: exact at Parallel=1, an upper bound when experiments overlap.
+	// Both are observability only — they never appear in table cells, so
+	// data output stays byte-identical across runs and worker counts.
+	Elapsed    time.Duration
+	AllocBytes uint64
+}
+
+// Runner executes a set of experiments on a bounded worker pool with
+// deterministic per-experiment seeding. It is the single execution
+// substrate for cmd/offbench, the test suite and CI.
+//
+// Determinism: each experiment runs with Scale.Seed replaced by
+// rng.Derive(Scale.Seed, Seq), a pure function of the base seed and the
+// experiment's canonical registry position. Workers only decide WHEN an
+// experiment runs, never WITH WHAT randomness, so the produced tables are
+// bit-identical for any Parallel value and any completion order, and a
+// subset run (offbench -exp E5) reproduces exactly the rows the full
+// suite produces for those experiments.
+type Runner struct {
+	// Scale is the per-experiment workload; Scale.Seed is the base seed
+	// that per-experiment seeds derive from.
+	Scale Scale
+	// Parallel is the worker-pool size; <= 0 means runtime.NumCPU().
+	Parallel int
+	// OnResult, if non-nil, is invoked as each experiment finishes, in
+	// completion order (not suite order). Calls are serialized.
+	OnResult func(Result)
+}
+
+// Run executes exps and returns one Result per experiment, in input
+// order. The first experiment failure (error or recovered panic) cancels
+// the remaining queue — experiments already in flight finish, queued ones
+// come back with Skipped set — and is returned as the error, alongside
+// the partial results. Cancelling ctx has the same effect.
+func (r *Runner) Run(ctx context.Context, exps []Experiment) ([]Result, error) {
+	workers := r.Parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]Result, len(exps))
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex // guards firstErr and OnResult calls
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				e := exps[idx]
+				if ctx.Err() != nil {
+					res := Result{
+						ID: e.ID, Claim: e.Claim,
+						Err:     fmt.Errorf("exp: %s skipped: %w", e.ID, context.Cause(ctx)),
+						Skipped: true,
+					}
+					results[idx] = res
+					if r.OnResult != nil {
+						mu.Lock()
+						r.OnResult(res)
+						mu.Unlock()
+					}
+					continue
+				}
+				res := r.runOne(e)
+				results[idx] = res
+				if res.Err != nil {
+					fail(res.Err)
+				}
+				if r.OnResult != nil {
+					mu.Lock()
+					r.OnResult(res)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for idx := range exps {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = context.Cause(ctx)
+	}
+	return results, firstErr
+}
+
+// runOne executes a single experiment with its derived seed, converting
+// panics into errors so one broken experiment cannot take down the suite.
+func (r *Runner) runOne(e Experiment) (res Result) {
+	s := r.Scale
+	s.Seed = rng.Derive(r.Scale.Seed, uint64(e.Seq))
+	res = Result{ID: e.ID, Claim: e.Claim, Seed: s.Seed}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	allocBefore := ms.TotalAlloc
+	start := time.Now()
+	defer func() {
+		res.Elapsed = time.Since(start)
+		runtime.ReadMemStats(&ms)
+		if ms.TotalAlloc > allocBefore {
+			res.AllocBytes = ms.TotalAlloc - allocBefore
+		}
+		if p := recover(); p != nil {
+			res.Tables = nil
+			res.Err = fmt.Errorf("exp: %s panicked: %v\n%s", e.ID, p, debug.Stack())
+		}
+	}()
+
+	tables, err := e.Run(s)
+	if err != nil {
+		res.Err = fmt.Errorf("exp: %s: %w", e.ID, err)
+		return res
+	}
+	res.Tables = tables
+	return res
+}

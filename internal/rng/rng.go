@@ -45,6 +45,36 @@ func (r *Source) Split() *Source {
 	return New(r.Uint64() ^ 0xa0761d6478bd642f)
 }
 
+// Derive maps (base, stream) to a new seed with a splitmix64 finalizer, so
+// that callers can hand out one independent seed per shard/experiment/
+// replication purely from immutable inputs. Unlike Split, Derive consumes
+// no generator state: the result depends only on its arguments, which is
+// what makes parallel execution bit-identical to serial execution — worker
+// count and completion order cannot influence which seed a stream gets.
+//
+// Distinct (base, stream) pairs yield uncorrelated seeds even when base
+// and stream are small consecutive integers.
+func Derive(base, stream uint64) uint64 {
+	// Mix the stream index into the base with the golden-gamma increment,
+	// then apply the splitmix64 finalizer twice (once over the combined
+	// word, once over the result) so that low-entropy inputs diffuse into
+	// all 64 bits.
+	x := base + (stream+1)*0x9e3779b97f4a7c15
+	for i := 0; i < 2; i++ {
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x = x ^ (x >> 31)
+	}
+	return x
+}
+
+// Fork returns a fresh Source for the given stream index derived from
+// base. It is shorthand for New(Derive(base, stream)): a pure function of
+// its arguments, safe to call concurrently from any number of goroutines.
+func Fork(base, stream uint64) *Source {
+	return New(Derive(base, stream))
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.
