@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt race ci determinism golden bench bench-full results examples clean
+.PHONY: all build test vet fmt race fuzz ci determinism golden bench bench-full results examples clean
 
 all: build vet test
 
@@ -21,8 +21,13 @@ fmt:
 race:
 	$(GO) test -race ./...
 
-# Everything CI runs, in order: the five gates plus the determinism diff.
-ci: build vet fmt test race determinism
+# Short fuzzing smoke run over the fault-injector invariants. Longer local
+# sessions: go test -fuzz=FuzzFaultInjector -fuzztime=5m ./internal/fault/
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzFaultInjector -fuzztime=10s ./internal/fault/
+
+# Everything CI runs, in order: the gates plus the determinism diff.
+ci: build vet fmt test race fuzz determinism
 
 # Prove offbench's stdout is byte-identical serial vs parallel and still
 # matches the committed quick-scale goldens.

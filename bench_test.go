@@ -1,7 +1,7 @@
 package offload_test
 
 // The benchmark harness: one benchmark per experiment in the evaluation
-// suite (E1–E15, see DESIGN.md and EXPERIMENTS.md), each regenerating its
+// suite (E1–E17, see DESIGN.md and EXPERIMENTS.md), each regenerating its
 // table(s) at the quick scale per iteration, plus micro-benchmarks for the
 // core algorithms. `go test -bench=. -benchmem` reproduces everything;
 // `go run ./cmd/offbench` prints the full-scale tables.
@@ -113,6 +113,10 @@ func BenchmarkE15Granularity(b *testing.B) { benchExperiment(b, "E15") }
 
 // BenchmarkE16Providers regenerates Table 10: provider-aware allocation.
 func BenchmarkE16Providers(b *testing.B) { benchExperiment(b, "E16") }
+
+// BenchmarkE17Resilience regenerates Table 11: resilience strategies
+// under correlated cloud outages.
+func BenchmarkE17Resilience(b *testing.B) { benchExperiment(b, "E17") }
 
 // --- micro-benchmarks for the core algorithms ---
 

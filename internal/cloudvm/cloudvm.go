@@ -12,9 +12,15 @@ package cloudvm
 import (
 	"fmt"
 
+	"offload/internal/fault"
 	"offload/internal/model"
 	"offload/internal/sim"
 )
+
+// ErrTransient is an injected infrastructure failure (a preempted or
+// crashed instance). It wraps model.ErrTransient, so callers classify it
+// with model.Transient and should retry.
+var ErrTransient = fmt.Errorf("cloudvm: transient execution failure: %w", model.ErrTransient)
 
 // Config describes a VM fleet.
 type Config struct {
@@ -86,12 +92,14 @@ func Autoscaled() Config {
 type Fleet struct {
 	eng *sim.Engine
 	cfg Config
+	inj fault.Injector
 
 	instances []*instance
 	waiting   []*pending
 
 	booting       int
 	executed      uint64
+	faulted       uint64
 	instanceHours float64 // accrued at retirement; live instances added on demand
 }
 
@@ -133,6 +141,10 @@ func (f *Fleet) Placement() model.Placement { return model.PlaceVM }
 
 // Config returns the fleet configuration.
 func (f *Fleet) Config() Config { return f.cfg }
+
+// SetFaultInjector installs a fault model on the fleet. A nil injector
+// disables fault injection.
+func (f *Fleet) SetFaultInjector(inj fault.Injector) { f.inj = inj }
 
 // ExecTime returns the task's single-core run time on this hardware.
 func (f *Fleet) ExecTime(task *model.Task) sim.Duration {
@@ -199,14 +211,33 @@ func (f *Fleet) runOn(in *instance, p *pending) {
 		in.idleEv = nil
 	}
 	start := p.at
-	f.eng.After(f.ExecTime(p.task), func() {
+	exec := f.ExecTime(p.task)
+	// Fault model: a crash occupies the core for CrashFrac of the run and
+	// reports a transient error; a straggler occupies it Slowdown× longer.
+	dec := fault.Decision{Slowdown: 1}
+	if f.inj != nil {
+		dec = f.inj.Decide(f.eng.Now())
+	}
+	if dec.Slowdown > 1 {
+		exec = sim.Duration(float64(exec) * dec.Slowdown)
+	}
+	if dec.Crash {
+		exec = sim.Duration(float64(exec) * dec.CrashFrac)
+	}
+	f.eng.After(exec, func() {
 		in.busy--
-		f.executed++
-		p.done(model.ExecReport{
+		rep := model.ExecReport{
 			Start:     start,
 			End:       f.eng.Now(),
-			QueueWait: f.eng.Now().Sub(start) - f.ExecTime(p.task),
-		})
+			QueueWait: f.eng.Now().Sub(start) - exec,
+		}
+		if dec.Crash {
+			f.faulted++
+			rep.Err = ErrTransient
+		} else {
+			f.executed++
+		}
+		p.done(rep)
 		f.drainTo(in)
 		f.armIdleShutdown(in)
 	})
@@ -250,6 +281,9 @@ func (f *Fleet) AccruedCostUSD() float64 {
 
 // Executed returns how many tasks completed on the fleet.
 func (f *Fleet) Executed() uint64 { return f.executed }
+
+// Faulted returns how many tasks died to injected faults.
+func (f *Fleet) Faulted() uint64 { return f.faulted }
 
 // QueueLen returns tasks waiting for a core.
 func (f *Fleet) QueueLen() int { return len(f.waiting) }

@@ -11,6 +11,7 @@ import (
 	"offload/internal/cloudvm"
 	"offload/internal/device"
 	"offload/internal/edge"
+	"offload/internal/fault"
 	"offload/internal/model"
 	"offload/internal/network"
 	"offload/internal/rng"
@@ -97,9 +98,26 @@ type Config struct {
 
 	// Retries enables transparent retries of transient infrastructure
 	// failures: total attempts per task (values <= 1 disable retries),
-	// with exponential backoff starting at RetryBackoff.
-	Retries      int
-	RetryBackoff sim.Duration
+	// with exponential backoff starting at RetryBackoff, capped at
+	// RetryMaxBackoff (zero leaves it uncapped). RetryJitter draws each
+	// delay uniformly from [0, backoff) on a dedicated rng stream.
+	Retries         int
+	RetryBackoff    sim.Duration
+	RetryMaxBackoff sim.Duration
+	RetryJitter     bool
+
+	// Fault, EdgeFault and VMFault install composite fault models
+	// (correlated outages, scheduled windows, stragglers — see
+	// internal/fault) on the serverless platform, the edge site and the
+	// VM fleet. A non-nil Fault replaces Serverless.FailureRate.
+	Fault     *fault.Config
+	EdgeFault *fault.Config
+	VMFault   *fault.Config
+
+	// Resilience enables the scheduler's client-side resilience layer:
+	// per-attempt timeouts, hedged requests, circuit breakers and
+	// fallback execution. See sched.Resilience.
+	Resilience *sched.Resilience
 
 	// LocalDVFSMinScale enables per-task DVFS for local executions: tasks
 	// run at the slowest frequency (floored here, in (0,1]) that still
@@ -222,10 +240,20 @@ func NewSystem(cfg Config) (*System, error) {
 		opts = append(opts, sched.WithRetries(sched.RetryPolicy{
 			MaxAttempts: cfg.Retries,
 			Backoff:     backoff,
+			MaxBackoff:  cfg.RetryMaxBackoff,
+			FullJitter:  cfg.RetryJitter,
 		}))
 	}
 	if cfg.LocalDVFSMinScale > 0 {
 		opts = append(opts, sched.WithLocalDVFS(cfg.LocalDVFSMinScale))
+	}
+	// New rng splits must stay behind every pre-existing one so that
+	// configurations not using these features keep byte-identical streams.
+	if cfg.RetryJitter {
+		opts = append(opts, sched.WithRNG(src.Split()))
+	}
+	if cfg.Resilience != nil {
+		opts = append(opts, sched.WithResilience(*cfg.Resilience))
 	}
 	s, err := sched.New(env, policy, pred, opts...)
 	if err != nil {
@@ -248,6 +276,38 @@ func NewSystem(cfg Config) (*System, error) {
 			return nil, err
 		}
 		sys.Shifter = sh
+	}
+	if cfg.Fault != nil {
+		if sys.Platform() == nil {
+			return nil, fmt.Errorf("core: Fault configured without serverless")
+		}
+		inj, err := fault.New(src.Split(), *cfg.Fault)
+		if err != nil {
+			return nil, err
+		}
+		if inj != nil {
+			sys.Platform().SetFaultInjector(inj)
+		}
+	}
+	if cfg.EdgeFault != nil {
+		if env.Edge == nil {
+			return nil, fmt.Errorf("core: EdgeFault configured without edge")
+		}
+		inj, err := fault.New(src.Split(), *cfg.EdgeFault)
+		if err != nil {
+			return nil, err
+		}
+		env.Edge.SetFaultInjector(inj)
+	}
+	if cfg.VMFault != nil {
+		if env.VM == nil {
+			return nil, fmt.Errorf("core: VMFault configured without a VM fleet")
+		}
+		inj, err := fault.New(src.Split(), *cfg.VMFault)
+		if err != nil {
+			return nil, err
+		}
+		env.VM.SetFaultInjector(inj)
 	}
 	return sys, nil
 }

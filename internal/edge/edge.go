@@ -9,9 +9,15 @@ package edge
 import (
 	"fmt"
 
+	"offload/internal/fault"
 	"offload/internal/model"
 	"offload/internal/sim"
 )
+
+// ErrTransient is an injected infrastructure failure (a died edge server,
+// a dropped request). It wraps model.ErrTransient, so callers classify it
+// with model.Transient and should retry.
+var ErrTransient = fmt.Errorf("edge: transient execution failure: %w", model.ErrTransient)
 
 // Config describes an edge site.
 type Config struct {
@@ -63,9 +69,11 @@ type Cluster struct {
 	eng   *sim.Engine
 	cfg   Config
 	cores *sim.Resource
+	inj   fault.Injector
 
 	executed uint64
 	rejected uint64
+	faulted  uint64
 }
 
 var _ model.Executor = (*Cluster)(nil)
@@ -90,6 +98,10 @@ func (c *Cluster) Placement() model.Placement { return model.PlaceEdge }
 
 // Config returns the site configuration.
 func (c *Cluster) Config() Config { return c.cfg }
+
+// SetFaultInjector installs a fault model on the site. A nil injector
+// disables fault injection.
+func (c *Cluster) SetFaultInjector(inj fault.Injector) { c.inj = inj }
 
 // ExecTime returns the task's single-core run time on this hardware.
 func (c *Cluster) ExecTime(task *model.Task) sim.Duration {
@@ -116,14 +128,33 @@ func (c *Cluster) Execute(task *model.Task, done func(model.ExecReport)) {
 	}
 	c.cores.Acquire(func() {
 		granted := c.eng.Now()
-		c.eng.After(c.ExecTime(task), func() {
+		exec := c.ExecTime(task)
+		// Fault model: a crash holds the core for CrashFrac of the run and
+		// reports a transient error; a straggler holds it Slowdown× longer.
+		dec := fault.Decision{Slowdown: 1}
+		if c.inj != nil {
+			dec = c.inj.Decide(granted)
+		}
+		if dec.Slowdown > 1 {
+			exec = sim.Duration(float64(exec) * dec.Slowdown)
+		}
+		if dec.Crash {
+			exec = sim.Duration(float64(exec) * dec.CrashFrac)
+		}
+		c.eng.After(exec, func() {
 			c.cores.Release()
-			c.executed++
-			done(model.ExecReport{
+			rep := model.ExecReport{
 				Start:     start,
 				End:       c.eng.Now(),
 				QueueWait: granted.Sub(start),
-			})
+			}
+			if dec.Crash {
+				c.faulted++
+				rep.Err = ErrTransient
+			} else {
+				c.executed++
+			}
+			done(rep)
 		})
 	})
 }
@@ -142,6 +173,9 @@ func (c *Cluster) Executed() uint64 { return c.executed }
 
 // Rejected returns how many tasks were refused (memory bound).
 func (c *Cluster) Rejected() uint64 { return c.rejected }
+
+// Faulted returns how many tasks died to injected faults.
+func (c *Cluster) Faulted() uint64 { return c.faulted }
 
 // QueueLen returns tasks waiting for a core.
 func (c *Cluster) QueueLen() int { return c.cores.QueueLen() }

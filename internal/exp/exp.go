@@ -1,4 +1,4 @@
-// Package exp implements the evaluation suite E1–E15 defined in DESIGN.md.
+// Package exp implements the evaluation suite E1–E17 defined in DESIGN.md.
 // The published paper is a doctoral-symposium abstract with no tables or
 // figures, so these experiments ARE the reproduction target: each one
 // exercises a specific claim of the abstract, and EXPERIMENTS.md records
@@ -73,6 +73,7 @@ func Registry() []Experiment {
 		{ID: "E14", Claim: "serverless elasticity absorbs bursts fixed capacity cannot", Run: E14Bursts},
 		{ID: "E15", Claim: "deployment granularity is an operational choice, not a cost cliff", Run: E15Granularity},
 		{ID: "E16", Claim: "resource allocation must be provider-aware (billing granularity)", Run: E16Providers},
+		{ID: "E17", Claim: "client-side resilience absorbs correlated cloud outages", Run: E17Resilience},
 	}
 	for i := range reg {
 		reg[i].Seq = i

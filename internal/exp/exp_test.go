@@ -53,8 +53,8 @@ func num(t *testing.T, cell string) float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 16 {
-		t.Fatalf("registry has %d experiments, want 16", len(reg))
+	if len(reg) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {
@@ -567,6 +567,72 @@ func TestE16Shape(t *testing.T) {
 	}
 	if large > 1.5 {
 		t.Errorf("large-task ratio %gx should approach the list-price gap", large)
+	}
+}
+
+func TestE17Shape(t *testing.T) {
+	tables, err := E17Resilience(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	header, data := rows(t, tables[0])
+	if len(data) != 12 { // 3 burst lengths × 4 strategies
+		t.Fatalf("E17 has %d rows, want 12", len(data))
+	}
+	burst := col(t, header, "burst_s")
+	strategy := col(t, header, "strategy")
+	fail := col(t, header, "task_fail")
+	fallbacks := col(t, header, "fallbacks")
+	hedges := col(t, header, "hedges")
+	get := func(b, s string) []string {
+		for _, r := range data {
+			if r[burst] == b && r[strategy] == s {
+				return r
+			}
+		}
+		t.Fatalf("no row %s/%s", b, s)
+		return nil
+	}
+	for _, b := range []string{"15", "60", "240"} {
+		ff := num(t, get(b, "fail-fast")[fail])
+		retry := num(t, get(b, "retry-only")[fail])
+		brk := num(t, get(b, "brk+fallback")[fail])
+		// Fail-fast loses tasks during every burst; retries never hurt.
+		if ff <= 0 {
+			t.Errorf("burst %s: fail-fast lost no tasks", b)
+		}
+		// Each cell draws its own workload stream, so allow a few points of
+		// arrival noise; retries must never make things materially worse.
+		if retry > ff+5 {
+			t.Errorf("burst %s: retry-only (%g%%) worse than fail-fast (%g%%)", b, retry, ff)
+		}
+		// The headline claim: breaker+fallback rides out any burst length.
+		if brk != 0 {
+			t.Errorf("burst %s: brk+fallback lost %g%% of tasks", b, brk)
+		}
+		if num(t, get(b, "fail-fast")[fallbacks]) != 0 {
+			t.Errorf("burst %s: fail-fast recorded fallbacks", b)
+		}
+	}
+	// Retry-only's ~62 s backoff horizon absorbs the short burst but not
+	// the long one.
+	if r := num(t, get("15", "retry-only")[fail]); r != 0 {
+		t.Errorf("retry-only lost %g%% of tasks to a 15 s burst inside its horizon", r)
+	}
+	if r := num(t, get("240", "retry-only")[fail]); r < 20 {
+		t.Errorf("retry-only lost only %g%% to a 240 s burst far beyond its horizon", r)
+	}
+	// The breaker must actually have rerouted during the sustained burst,
+	// and the hedged strategy must actually have hedged.
+	if num(t, get("240", "brk+fallback")[fallbacks]) == 0 {
+		t.Error("brk+fallback never rerouted during a 240 s burst")
+	}
+	hedgedTotal := 0.0
+	for _, b := range []string{"15", "60", "240"} {
+		hedgedTotal += num(t, get(b, "hedged")[hedges])
+	}
+	if hedgedTotal == 0 {
+		t.Error("hedged strategy never launched a hedge")
 	}
 }
 

@@ -1,0 +1,252 @@
+// Package fault is the composable fault model shared by every compute
+// substrate (serverless, edge, cloud VM). It layers four failure modes
+// behind one Injector interface:
+//
+//   - i.i.d. transient failures — each invocation independently crashes
+//     with probability FailureRate (subsumes the legacy
+//     serverless.Config.FailureRate);
+//   - a Gilbert–Elliott chain — the substrate alternates between a Good
+//     and a Bad state with exponential sojourns, and in the Bad state
+//     invocations crash with BadFailRate, producing the bursty,
+//     correlated outages real platforms exhibit;
+//   - scheduled outage windows — a regional incident of duration D
+//     starting at time T rejects every invocation inside the window;
+//   - straggler slowdowns — with probability StragglerProb an invocation
+//     runs slower by a heavy-tailed (Pareto) factor.
+//
+// All randomness flows through an injected *rng.Source, so simulations
+// remain byte-deterministic under exp.Runner parallelism.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"offload/internal/rng"
+	"offload/internal/sim"
+)
+
+// Decision is the sampled fault outcome for one invocation.
+type Decision struct {
+	// Crash aborts the invocation with a transient infrastructure error.
+	Crash bool
+	// CrashFrac is the fraction of the execution completed before the
+	// crash, in [0, 1). Zero models an immediate rejection (the substrate
+	// is down); larger values model containers dying mid-execution, which
+	// still consume — and bill — time.
+	CrashFrac float64
+	// Slowdown multiplies the invocation's execution time (straggler
+	// injection). Always >= 1; exactly 1 means no slowdown. Never set on
+	// crashed invocations.
+	Slowdown float64
+}
+
+// Injector samples one fault Decision per invocation. Implementations are
+// deterministic functions of their rng.Source and the (non-decreasing)
+// times they are asked about; like the rest of the simulator they are not
+// safe for concurrent use.
+type Injector interface {
+	Decide(now sim.Time) Decision
+}
+
+// Window is one scheduled outage: invocations starting inside
+// [Start, Start+Duration) are rejected immediately.
+type Window struct {
+	Start    sim.Time
+	Duration sim.Duration
+}
+
+// End returns the first instant after the outage.
+func (w Window) End() sim.Time { return w.Start.Add(w.Duration) }
+
+// Config describes a composite fault model. The zero value injects
+// nothing. Modes compose: an invocation first checks scheduled outages,
+// then the Gilbert–Elliott chain, then the i.i.d. coin, and only
+// crash-free invocations can be slowed down as stragglers.
+type Config struct {
+	// FailureRate is the probability an invocation independently dies with
+	// a transient error partway through execution. Zero disables.
+	FailureRate float64
+
+	// GoodToBadRate and BadToGoodRate are the exponential transition rates
+	// (per second) of the Gilbert–Elliott chain; both must be set together.
+	// While the chain is Bad, invocations crash with BadFailRate.
+	GoodToBadRate float64
+	BadToGoodRate float64
+	BadFailRate   float64
+
+	// Outages lists scheduled outage windows. They must not overlap; New
+	// sorts them by start time.
+	Outages []Window
+
+	// StragglerProb slows an invocation down with this probability by a
+	// Pareto(StragglerFactor, StragglerAlpha) multiplier, so the typical
+	// straggler runs StragglerFactor× slower and the tail is heavy.
+	StragglerProb   float64
+	StragglerFactor float64
+	StragglerAlpha  float64
+}
+
+// Enabled reports whether the configuration injects anything at all.
+func (c Config) Enabled() bool {
+	return c.FailureRate > 0 || c.GoodToBadRate > 0 ||
+		len(c.Outages) > 0 || c.StragglerProb > 0
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	for _, v := range []float64{
+		c.FailureRate, c.GoodToBadRate, c.BadToGoodRate, c.BadFailRate,
+		c.StragglerProb, c.StragglerFactor, c.StragglerAlpha,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("fault: non-finite parameter %g", v)
+		}
+	}
+	switch {
+	case c.FailureRate < 0 || c.FailureRate >= 1:
+		return fmt.Errorf("fault: failure rate %g outside [0,1)", c.FailureRate)
+	case c.GoodToBadRate < 0 || c.BadToGoodRate < 0:
+		return fmt.Errorf("fault: negative chain transition rate")
+	case (c.GoodToBadRate > 0) != (c.BadToGoodRate > 0):
+		return fmt.Errorf("fault: both chain transition rates must be set together")
+	case c.GoodToBadRate > 0 && (c.BadFailRate <= 0 || c.BadFailRate > 1):
+		return fmt.Errorf("fault: bad-state failure rate %g outside (0,1]", c.BadFailRate)
+	case c.GoodToBadRate == 0 && c.BadFailRate != 0:
+		return fmt.Errorf("fault: bad-state failure rate without a chain")
+	case c.StragglerProb < 0 || c.StragglerProb >= 1:
+		return fmt.Errorf("fault: straggler probability %g outside [0,1)", c.StragglerProb)
+	case c.StragglerProb > 0 && c.StragglerFactor < 1:
+		return fmt.Errorf("fault: straggler factor %g below 1", c.StragglerFactor)
+	case c.StragglerProb > 0 && c.StragglerAlpha <= 0:
+		return fmt.Errorf("fault: straggler alpha %g not positive", c.StragglerAlpha)
+	case c.StragglerProb == 0 && (c.StragglerFactor != 0 || c.StragglerAlpha != 0):
+		return fmt.Errorf("fault: straggler parameters without a probability")
+	}
+	sorted := sortedWindows(c.Outages)
+	for i, w := range sorted {
+		if !(w.Start >= 0) || !(w.Duration > 0) ||
+			math.IsInf(float64(w.Start), 0) || math.IsInf(float64(w.Duration), 0) {
+			return fmt.Errorf("fault: outage window %d (start %g, duration %g) not positive and finite",
+				i, float64(w.Start), float64(w.Duration))
+		}
+		if i > 0 && w.Start < sorted[i-1].End() {
+			return fmt.Errorf("fault: outage windows overlap at %g", float64(w.Start))
+		}
+	}
+	return nil
+}
+
+func sortedWindows(ws []Window) []Window {
+	out := make([]Window, len(ws))
+	copy(out, ws)
+	sort.Slice(out, func(a, b int) bool { return out[a].Start < out[b].Start })
+	return out
+}
+
+// injector is the composite Injector behind New and IID.
+type injector struct {
+	src *rng.Source
+	cfg Config
+
+	outages []Window // sorted by start
+	outIdx  int      // first window whose end is still in the future
+
+	chainInit      bool
+	bad            bool
+	nextTransition sim.Time
+}
+
+// New returns an Injector for cfg drawing from src. A disabled
+// configuration yields a nil Injector (inject nothing) and no error.
+func New(src *rng.Source, cfg Config) (Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled() {
+		return nil, nil
+	}
+	if src == nil {
+		return nil, fmt.Errorf("fault: nil rng source")
+	}
+	return &injector{src: src, cfg: cfg, outages: sortedWindows(cfg.Outages)}, nil
+}
+
+// IID returns an injector with only the memoryless per-invocation failure
+// mode — the exact legacy serverless.Config.FailureRate behaviour,
+// including its draw order (one Bool per invocation, one extra Float64 on
+// a crash), so simulations that predate this package reproduce their old
+// byte-identical output.
+func IID(src *rng.Source, rate float64) Injector {
+	inj, err := New(src, Config{FailureRate: rate})
+	if err != nil {
+		panic(err)
+	}
+	return inj
+}
+
+// Decide implements Injector. Draw order is part of the package contract:
+// scheduled outages consume no randomness; the chain draws its sojourns
+// lazily plus one Bool (and one Float64 on crash) in the Bad state; the
+// i.i.d. mode draws one Bool (and one Float64 on crash); stragglers draw
+// one Bool (and one Pareto variate when slowed).
+func (i *injector) Decide(now sim.Time) Decision {
+	d := Decision{Slowdown: 1}
+	if i.inOutage(now) {
+		d.Crash = true
+		return d
+	}
+	if i.cfg.GoodToBadRate > 0 {
+		i.advanceChain(now)
+		if i.bad && i.src.Bool(i.cfg.BadFailRate) {
+			d.Crash = true
+			d.CrashFrac = i.src.Float64()
+			return d
+		}
+	}
+	if i.cfg.FailureRate > 0 && i.src.Bool(i.cfg.FailureRate) {
+		d.Crash = true
+		d.CrashFrac = i.src.Float64()
+		return d
+	}
+	if i.cfg.StragglerProb > 0 && i.src.Bool(i.cfg.StragglerProb) {
+		d.Slowdown = i.src.Pareto(i.cfg.StragglerFactor, i.cfg.StragglerAlpha)
+	}
+	return d
+}
+
+// inOutage reports whether now falls inside a scheduled outage window,
+// discarding windows that already ended.
+func (i *injector) inOutage(now sim.Time) bool {
+	for i.outIdx < len(i.outages) && now >= i.outages[i.outIdx].End() {
+		i.outIdx++
+	}
+	return i.outIdx < len(i.outages) && now >= i.outages[i.outIdx].Start
+}
+
+// advanceChain moves the Gilbert–Elliott chain to now, flipping states at
+// their sampled sojourn boundaries (same construction as the network
+// path's degradation chain). The chain starts Good at the first decision.
+func (i *injector) advanceChain(now sim.Time) {
+	if !i.chainInit {
+		i.chainInit = true
+		i.nextTransition = now.Add(sim.Duration(i.src.Exp(i.cfg.GoodToBadRate)))
+	}
+	for i.nextTransition <= now {
+		at := i.nextTransition
+		i.bad = !i.bad
+		rate := i.cfg.GoodToBadRate
+		if i.bad {
+			rate = i.cfg.BadToGoodRate
+		}
+		next := at.Add(sim.Duration(i.src.Exp(rate)))
+		if next <= at {
+			// The sampled sojourn underflowed at this magnitude of virtual
+			// time (an extreme transition rate). Step just past now so the
+			// loop always terminates.
+			next = sim.Time(math.Nextafter(float64(now), math.Inf(1)))
+		}
+		i.nextTransition = next
+	}
+}

@@ -1,0 +1,247 @@
+package fault
+
+import (
+	"testing"
+
+	"offload/internal/rng"
+	"offload/internal/sim"
+)
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"failure rate 1", Config{FailureRate: 1}},
+		{"negative failure rate", Config{FailureRate: -0.1}},
+		{"only one chain rate", Config{GoodToBadRate: 0.1, BadFailRate: 0.5}},
+		{"chain without bad rate", Config{GoodToBadRate: 0.1, BadToGoodRate: 0.2}},
+		{"bad fail rate above 1", Config{GoodToBadRate: 0.1, BadToGoodRate: 0.2, BadFailRate: 1.5}},
+		{"bad fail rate without chain", Config{BadFailRate: 0.5}},
+		{"negative chain rate", Config{GoodToBadRate: -1, BadToGoodRate: 1, BadFailRate: 0.5}},
+		{"straggler prob 1", Config{StragglerProb: 1, StragglerFactor: 2, StragglerAlpha: 1}},
+		{"straggler factor below 1", Config{StragglerProb: 0.1, StragglerFactor: 0.5, StragglerAlpha: 1}},
+		{"straggler alpha zero", Config{StragglerProb: 0.1, StragglerFactor: 2}},
+		{"straggler params without prob", Config{StragglerFactor: 2, StragglerAlpha: 1}},
+		{"zero-length outage", Config{Outages: []Window{{Start: 5}}}},
+		{"negative outage start", Config{Outages: []Window{{Start: -1, Duration: 2}}}},
+		{"overlapping outages", Config{Outages: []Window{
+			{Start: 0, Duration: 10}, {Start: 5, Duration: 10}}}},
+	}
+	for _, c := range cases {
+		if err := c.cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.cfg)
+		}
+		if _, err := New(rng.New(1), c.cfg); err == nil {
+			t.Errorf("%s: New accepted %+v", c.name, c.cfg)
+		}
+	}
+}
+
+func TestDisabledConfigYieldsNilInjector(t *testing.T) {
+	inj, err := New(rng.New(1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj != nil {
+		t.Fatalf("disabled config produced injector %v", inj)
+	}
+}
+
+// TestIIDMatchesLegacyDraws pins the compatibility contract: the i.i.d.
+// mode consumes exactly one Bool(rate) per decision plus one Float64 on a
+// crash, in that order — the draw pattern the serverless platform used
+// before this package existed, which keeps old goldens byte-identical.
+func TestIIDMatchesLegacyDraws(t *testing.T) {
+	const rate = 0.3
+	inj := IID(rng.New(42), rate)
+	legacy := rng.New(42)
+	for i := 0; i < 5000; i++ {
+		d := inj.Decide(sim.Time(i))
+		crash := legacy.Bool(rate)
+		frac := 0.0
+		if crash {
+			frac = legacy.Float64()
+		}
+		if d.Crash != crash || d.CrashFrac != frac {
+			t.Fatalf("decision %d diverged: got (%v, %g), legacy (%v, %g)",
+				i, d.Crash, d.CrashFrac, crash, frac)
+		}
+		if d.Slowdown != 1 {
+			t.Fatalf("decision %d: iid slowdown %g", i, d.Slowdown)
+		}
+	}
+}
+
+func TestIIDRate(t *testing.T) {
+	const rate = 0.2
+	inj := IID(rng.New(7), rate)
+	crashes := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d := inj.Decide(sim.Time(i))
+		if d.Crash {
+			crashes++
+			if d.CrashFrac < 0 || d.CrashFrac >= 1 {
+				t.Fatalf("crash fraction %g outside [0,1)", d.CrashFrac)
+			}
+		}
+	}
+	got := float64(crashes) / n
+	if got < 0.18 || got > 0.22 {
+		t.Fatalf("observed crash rate %g, want ~%g", got, rate)
+	}
+}
+
+func TestScheduledOutages(t *testing.T) {
+	// Deliberately unsorted input: New must sort.
+	inj, err := New(rng.New(1), Config{Outages: []Window{
+		{Start: 100, Duration: 50},
+		{Start: 10, Duration: 10},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		at    sim.Time
+		crash bool
+	}{
+		{0, false}, {9.99, false}, {10, true}, {15, true}, {19.99, true},
+		{20, false}, {99, false}, {100, true}, {149, true}, {150, false}, {1e6, false},
+	}
+	for _, c := range cases {
+		d := inj.Decide(c.at)
+		if d.Crash != c.crash {
+			t.Errorf("at %g: crash=%v, want %v", float64(c.at), d.Crash, c.crash)
+		}
+		if d.Crash && d.CrashFrac != 0 {
+			t.Errorf("at %g: outage crash fraction %g, want 0 (immediate rejection)",
+				float64(c.at), d.CrashFrac)
+		}
+	}
+}
+
+// TestGilbertElliottBurstiness drives the chain at one decision per second
+// and checks both the marginal failure rate (≈ the chain's stationary Bad
+// probability, since BadFailRate is 1) and that the failures cluster into
+// far fewer runs than independent failures would produce.
+func TestGilbertElliottBurstiness(t *testing.T) {
+	cfg := Config{GoodToBadRate: 0.02, BadToGoodRate: 0.1, BadFailRate: 1}
+	inj, err := New(rng.New(3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	crashes, runs := 0, 0
+	prev := false
+	for i := 0; i < n; i++ {
+		d := inj.Decide(sim.Time(i))
+		if d.Crash {
+			crashes++
+			if !prev {
+				runs++
+			}
+		}
+		prev = d.Crash
+	}
+	stationary := cfg.GoodToBadRate / (cfg.GoodToBadRate + cfg.BadToGoodRate) // ≈ 0.167
+	got := float64(crashes) / n
+	if got < stationary*0.8 || got > stationary*1.2 {
+		t.Fatalf("marginal failure rate %g, want ~%g", got, stationary)
+	}
+	// Mean Bad sojourn is 10 s = 10 consecutive decisions per outage burst.
+	// Independent failures at the same marginal rate would give
+	// crashes·(1-rate) ≈ 0.83·crashes runs; the chain must produce far
+	// fewer, longer runs.
+	if runs == 0 || float64(crashes)/float64(runs) < 5 {
+		t.Fatalf("failures not bursty: %d crashes in %d runs", crashes, runs)
+	}
+}
+
+func TestStragglerSlowdowns(t *testing.T) {
+	cfg := Config{StragglerProb: 0.25, StragglerFactor: 4, StragglerAlpha: 1.5}
+	inj, err := New(rng.New(5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	slowed := 0
+	for i := 0; i < n; i++ {
+		d := inj.Decide(sim.Time(i))
+		if d.Crash {
+			t.Fatal("straggler-only config crashed")
+		}
+		if d.Slowdown < 1 {
+			t.Fatalf("slowdown %g below 1", d.Slowdown)
+		}
+		if d.Slowdown > 1 {
+			slowed++
+			if d.Slowdown < cfg.StragglerFactor {
+				t.Fatalf("straggler slowdown %g below the Pareto minimum %g",
+					d.Slowdown, cfg.StragglerFactor)
+			}
+		}
+	}
+	got := float64(slowed) / n
+	if got < 0.22 || got > 0.28 {
+		t.Fatalf("straggler fraction %g, want ~%g", got, cfg.StragglerProb)
+	}
+}
+
+// TestCompositeDeterminism: two injectors with identical seeds and configs
+// produce identical decision sequences — the property exp.Runner
+// parallelism rests on.
+func TestCompositeDeterminism(t *testing.T) {
+	cfg := Config{
+		FailureRate:   0.05,
+		GoodToBadRate: 0.01, BadToGoodRate: 0.1, BadFailRate: 0.9,
+		Outages:       []Window{{Start: 500, Duration: 100}},
+		StragglerProb: 0.1, StragglerFactor: 2, StragglerAlpha: 1.2,
+	}
+	a, err := New(rng.New(11), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(rng.New(11), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		at := sim.Time(float64(i) * 0.7)
+		da, db := a.Decide(at), b.Decide(at)
+		if da != db {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, da, db)
+		}
+	}
+}
+
+// TestCompositeOutagePrecedence: inside a scheduled window every decision
+// crashes regardless of the other modes, and no randomness is consumed, so
+// the post-outage stream is unaffected by the outage length.
+func TestCompositeOutagePrecedence(t *testing.T) {
+	cfg := Config{
+		FailureRate: 0.05,
+		Outages:     []Window{{Start: 10, Duration: 100}},
+	}
+	inj, err := New(rng.New(9), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for at := sim.Time(10); at < 110; at += 1 {
+		if d := inj.Decide(at); !d.Crash {
+			t.Fatalf("no crash inside outage at %g", float64(at))
+		}
+	}
+	// The stream after the outage must equal a run that never entered the
+	// window (outages draw nothing).
+	ref, err := New(rng.New(9), Config{FailureRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		at := sim.Time(200 + i)
+		if d, r := inj.Decide(at), ref.Decide(at); d != r {
+			t.Fatalf("post-outage decision %d diverged: %+v vs %+v", i, d, r)
+		}
+	}
+}

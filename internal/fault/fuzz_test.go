@@ -1,0 +1,77 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"offload/internal/rng"
+	"offload/internal/sim"
+)
+
+// FuzzFaultInjector checks the injector's invariants over arbitrary
+// configurations and decision times: any configuration that passes
+// Validate must never panic, never emit a crash fraction outside [0,1),
+// never emit a slowdown below 1, and never slow down a crashed invocation.
+func FuzzFaultInjector(f *testing.F) {
+	f.Add(uint64(1), 0.1, 0.01, 0.1, 0.5, 0.05, 4.0, 1.5, 20.0, 60.0, 0.7)
+	f.Add(uint64(2), 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 5.0, 1.0)
+	f.Add(uint64(3), 0.99, 1000.0, 1000.0, 1.0, 0.99, 1.0, 0.001, 0.0, 0.0, 1e9)
+	f.Add(uint64(4), 0.5, 1e-9, 1e9, 0.5, 0.0, 0.0, 0.0, 1e6, 1e-9, 1e-9)
+	f.Fuzz(func(t *testing.T, seed uint64,
+		failRate, g2b, b2g, badRate,
+		stragProb, stragFactor, stragAlpha,
+		outStart, outDur, step float64) {
+		cfg := Config{
+			FailureRate:   failRate,
+			GoodToBadRate: g2b, BadToGoodRate: b2g, BadFailRate: badRate,
+			StragglerProb: stragProb, StragglerFactor: stragFactor, StragglerAlpha: stragAlpha,
+		}
+		if outDur > 0 {
+			cfg.Outages = []Window{
+				{Start: sim.Time(outStart), Duration: sim.Duration(outDur)},
+				{Start: sim.Time(outStart) + sim.Time(2*outDur), Duration: sim.Duration(outDur)},
+			}
+		}
+		if err := cfg.Validate(); err != nil {
+			// Validate must reject exactly what New rejects.
+			if _, nerr := New(rng.New(seed), cfg); nerr == nil {
+				t.Fatalf("Validate rejected (%v) but New accepted %+v", err, cfg)
+			}
+			t.Skip()
+		}
+		inj, err := New(rng.New(seed), cfg)
+		if err != nil {
+			t.Fatalf("Validate accepted but New rejected %+v: %v", cfg, err)
+		}
+		if inj == nil {
+			if cfg.Enabled() {
+				t.Fatalf("enabled config %+v produced nil injector", cfg)
+			}
+			t.Skip()
+		}
+		if step < 0 || math.IsNaN(step) || math.IsInf(step, 0) {
+			step = 1
+		}
+		now := sim.Time(0)
+		for i := 0; i < 300; i++ {
+			d := inj.Decide(now)
+			if d.CrashFrac < 0 || d.CrashFrac >= 1 || math.IsNaN(d.CrashFrac) {
+				t.Fatalf("decision %d at %g: crash fraction %g outside [0,1)", i, float64(now), d.CrashFrac)
+			}
+			if d.Slowdown < 1 || math.IsNaN(d.Slowdown) {
+				t.Fatalf("decision %d at %g: slowdown %g below 1", i, float64(now), d.Slowdown)
+			}
+			if d.Crash && d.Slowdown != 1 {
+				t.Fatalf("decision %d at %g: crashed invocation slowed down %g", i, float64(now), d.Slowdown)
+			}
+			if !d.Crash && d.CrashFrac != 0 {
+				t.Fatalf("decision %d at %g: crash fraction %g without a crash", i, float64(now), d.CrashFrac)
+			}
+			next := now.Add(sim.Duration(step))
+			if next < now { // overflow to -Inf or wrap: keep time monotonic
+				break
+			}
+			now = next
+		}
+	})
+}

@@ -5,10 +5,21 @@
 package model
 
 import (
+	"errors"
 	"fmt"
 
 	"offload/internal/sim"
 )
+
+// ErrTransient marks infrastructure failures that are worth retrying: the
+// task itself is fine, the substrate dropped it. Substrate-specific errors
+// (crashed containers, dead edge servers, preempted VMs, attempt timeouts)
+// wrap this sentinel so schedulers can classify them with Transient
+// without importing every substrate package.
+var ErrTransient = errors.New("transient infrastructure failure")
+
+// Transient reports whether err is a retryable infrastructure failure.
+func Transient(err error) bool { return errors.Is(err, ErrTransient) }
 
 // TaskID uniquely identifies a task within one simulation run.
 type TaskID uint64

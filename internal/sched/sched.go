@@ -6,15 +6,16 @@
 package sched
 
 import (
-	"errors"
 	"fmt"
+	"math"
 
 	"offload/internal/cloudvm"
 	"offload/internal/device"
 	"offload/internal/edge"
+	"offload/internal/metrics"
 	"offload/internal/model"
 	"offload/internal/network"
-	"offload/internal/serverless"
+	"offload/internal/rng"
 	"offload/internal/sim"
 )
 
@@ -85,20 +86,34 @@ type Scheduler struct {
 	onDone       func(model.Outcome)
 	afterTask    map[model.TaskID]func(model.Outcome)
 	retry        RetryPolicy
-	dvfsMinScale float64 // 0 disables per-task DVFS
+	src          *rng.Source // backoff jitter; nil disables jitter
+	dvfsMinScale float64     // 0 disables per-task DVFS
 	attempts     map[model.TaskID]int
 	// sunk accumulates money and energy spent by failed attempts so the
 	// final outcome reports the true total.
 	sunkUSD map[model.TaskID]float64
 	sunkMJ  map[model.TaskID]float64
+
+	// Resilience layer (nil when disabled): per-task attempt state, one
+	// circuit breaker per remote placement, and the latency histogram the
+	// hedging delay quantile is computed from.
+	res        *Resilience
+	inflight   map[model.TaskID]*taskState
+	breakers   map[model.Placement]*Breaker
+	attemptLat *metrics.Histogram
 }
 
 // RetryPolicy re-dispatches tasks that failed with a transient
 // infrastructure error. MaxAttempts counts all tries (1 disables retries);
-// Backoff delays each re-dispatch and doubles per attempt.
+// Backoff delays each re-dispatch and doubles per attempt, capped at
+// MaxBackoff (zero leaves it uncapped). With FullJitter the delay is drawn
+// uniformly from [0, backoff) using the scheduler's rng stream, which
+// decorrelates retry stampedes without losing determinism.
 type RetryPolicy struct {
 	MaxAttempts int
 	Backoff     sim.Duration
+	MaxBackoff  sim.Duration
+	FullJitter  bool
 }
 
 // Option configures a Scheduler.
@@ -113,6 +128,19 @@ func WithOutcomeHook(fn func(model.Outcome)) Option {
 // WithRetries enables transparent retries of transient failures.
 func WithRetries(rp RetryPolicy) Option {
 	return func(s *Scheduler) { s.retry = rp }
+}
+
+// WithRNG gives the scheduler its own random stream, used for retry
+// backoff jitter. Without one, FullJitter is silently disabled.
+func WithRNG(src *rng.Source) Option {
+	return func(s *Scheduler) { s.src = src }
+}
+
+// WithResilience enables the client-side resilience layer: per-attempt
+// timeouts, hedged requests, per-backend circuit breakers and fallback
+// execution while a breaker is open. See Resilience.
+func WithResilience(r Resilience) Option {
+	return func(s *Scheduler) { s.res = &r }
 }
 
 // WithLocalDVFS makes local executions of deadline-carrying tasks run at
@@ -145,6 +173,14 @@ func New(env *Env, policy Policy, pred Predictor, opts ...Option) (*Scheduler, e
 	for _, o := range opts {
 		o(s)
 	}
+	if s.res != nil {
+		if err := s.res.Validate(); err != nil {
+			return nil, err
+		}
+		s.inflight = make(map[model.TaskID]*taskState)
+		s.breakers = make(map[model.Placement]*Breaker)
+		s.attemptLat = metrics.NewLatencyHistogram()
+	}
 	return s, nil
 }
 
@@ -168,48 +204,60 @@ func (s *Scheduler) Submit(task *model.Task) {
 }
 
 // Dispatch runs the task at an explicit placement, bypassing the policy.
-// The Batcher uses this to realise its own placement decisions.
+// The Batcher uses this to realise its own placement decisions. With the
+// resilience layer enabled the placement becomes the task's primary
+// target, subject to breaker rerouting, hedging and retries.
 func (s *Scheduler) Dispatch(task *model.Task, placement model.Placement) {
+	if s.res != nil {
+		s.resilientDispatch(task, placement)
+		return
+	}
+	s.dispatchTo(task, placement, s.finish)
+}
+
+// dispatchTo runs one attempt of the task at the placement and reports
+// its outcome to done.
+func (s *Scheduler) dispatchTo(task *model.Task, placement model.Placement, done func(model.Outcome)) {
 	switch placement {
 	case model.PlaceLocal:
-		s.runLocal(task)
+		s.runLocal(task, done)
 	case model.PlaceEdge:
 		if s.env.Edge == nil {
-			s.fail(task, placement)
+			s.fail(task, placement, done)
 			return
 		}
-		s.runRemote(task, placement, s.env.Edge, s.env.EdgePath)
+		s.runRemote(task, placement, s.env.Edge, s.env.EdgePath, done)
 	case model.PlaceFunction:
 		if s.env.Functions == nil {
-			s.fail(task, placement)
+			s.fail(task, placement, done)
 			return
 		}
 		fn, err := s.env.Functions.For(task, s.pred)
 		if err != nil {
-			s.fail(task, placement)
+			s.fail(task, placement, done)
 			return
 		}
-		s.runRemote(task, placement, fn, s.env.CloudPath)
+		s.runRemote(task, placement, fn, s.env.CloudPath, done)
 	case model.PlaceVM:
 		if s.env.VM == nil {
-			s.fail(task, placement)
+			s.fail(task, placement, done)
 			return
 		}
-		s.runRemote(task, placement, s.env.VM, s.env.vmPath())
+		s.runRemote(task, placement, s.env.VM, s.env.vmPath(), done)
 	default:
-		s.fail(task, placement)
+		s.fail(task, placement, done)
 	}
 }
 
-func (s *Scheduler) fail(task *model.Task, placement model.Placement) {
+func (s *Scheduler) fail(task *model.Task, placement model.Placement, done func(model.Outcome)) {
 	now := s.env.Eng.Now()
-	s.finish(model.Outcome{
+	done(model.Outcome{
 		Task: task, Placement: placement,
 		Started: task.Submitted, Finished: now, Failed: true,
 	})
 }
 
-func (s *Scheduler) runLocal(task *model.Task) {
+func (s *Scheduler) runLocal(task *model.Task, done func(model.Outcome)) {
 	start := task.Submitted
 	dev := s.env.Device
 	// Default to the device-wide DVFS setting; per-task DVFS overrides it.
@@ -231,7 +279,7 @@ func (s *Scheduler) runLocal(task *model.Task) {
 		if rep.Err == nil {
 			o.EnergyMilliJ = energy
 		}
-		s.finish(o)
+		done(o)
 	})
 }
 
@@ -261,7 +309,7 @@ func (s *Scheduler) dvfsScale(task *model.Task) float64 {
 	}
 }
 
-func (s *Scheduler) runRemote(task *model.Task, placement model.Placement, exec model.Executor, path *network.Path) {
+func (s *Scheduler) runRemote(task *model.Task, placement model.Placement, exec model.Executor, path *network.Path, done func(model.Outcome)) {
 	start := task.Submitted
 	var o model.Outcome
 	o.Task = task
@@ -276,14 +324,14 @@ func (s *Scheduler) runRemote(task *model.Task, placement model.Placement, exec 
 			if rep.Err != nil {
 				o.Failed = true
 				o.Finished = s.env.Eng.Now()
-				s.finish(o)
+				done(o)
 				return
 			}
 			path.Transfer(task.OutputBytes, network.Downlink, func(down network.Report) {
 				o.DownlinkTime = down.Duration()
 				o.EnergyMilliJ += s.env.Device.RadioEnergyMilliJ(down.Duration(), false)
 				o.Finished = s.env.Eng.Now()
-				s.finish(o)
+				done(o)
 			})
 		})
 	})
@@ -299,15 +347,14 @@ func (s *Scheduler) DispatchThen(task *model.Task, placement model.Placement, th
 }
 
 func (s *Scheduler) finish(o model.Outcome) {
-	if o.Task != nil && o.Failed && s.shouldRetry(o) {
+	if o.Task != nil && o.Failed && s.res == nil && s.shouldRetry(o) {
 		n := s.attempts[o.Task.ID] + 1
 		s.attempts[o.Task.ID] = n
 		s.sunkUSD[o.Task.ID] += o.CostUSD
 		s.sunkMJ[o.Task.ID] += o.EnergyMilliJ
 		s.stats.Retries++
-		backoff := sim.Duration(float64(s.retry.Backoff) * float64(int(1)<<(n-1)))
 		task, placement := o.Task, o.Placement
-		s.env.Eng.After(backoff, func() { s.Dispatch(task, placement) })
+		s.env.Eng.After(s.retryDelay(n), func() { s.Dispatch(task, placement) })
 		return
 	}
 	if o.Task != nil {
@@ -336,11 +383,33 @@ func (s *Scheduler) finish(o model.Outcome) {
 // shouldRetry reports whether the failed outcome is worth another try:
 // a transient infrastructure error with attempts remaining.
 func (s *Scheduler) shouldRetry(o model.Outcome) bool {
+	return s.shouldRetryErr(o.Task, o.Exec.Err)
+}
+
+func (s *Scheduler) shouldRetryErr(task *model.Task, err error) bool {
 	if s.retry.MaxAttempts <= 1 {
 		return false
 	}
-	if !errors.Is(o.Exec.Err, serverless.ErrTransient) {
+	if !model.Transient(err) {
 		return false
 	}
-	return s.attempts[o.Task.ID]+1 < s.retry.MaxAttempts
+	return s.attempts[task.ID]+1 < s.retry.MaxAttempts
+}
+
+// retryDelay returns the backoff before re-dispatching attempt n+1 (n
+// failures so far): Backoff·2^(n-1), exponent capped so it cannot
+// overflow, clamped to MaxBackoff, with optional full jitter.
+func (s *Scheduler) retryDelay(n int) sim.Duration {
+	shift := n - 1
+	if shift > 30 {
+		shift = 30
+	}
+	d := float64(s.retry.Backoff) * math.Ldexp(1, shift)
+	if mb := float64(s.retry.MaxBackoff); mb > 0 && d > mb {
+		d = mb
+	}
+	if s.retry.FullJitter && s.src != nil {
+		d = s.src.Uniform(0, d)
+	}
+	return sim.Duration(d)
 }

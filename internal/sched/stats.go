@@ -17,6 +17,10 @@ type Stats struct {
 	Failed    uint64
 	Missed    uint64 // completed but past deadline
 	Retries   uint64 // re-dispatches after transient failures
+	Timeouts  uint64 // attempts abandoned by the per-attempt timeout
+	Hedges    uint64 // duplicate attempts launched by hedging
+	HedgeWins uint64 // hedge attempts that finished first
+	Fallbacks uint64 // attempts rerouted while a breaker was open
 
 	CostUSD      float64
 	EnergyMilliJ float64

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"offload/internal/fault"
 	"offload/internal/model"
 	"offload/internal/rng"
 	"offload/internal/sim"
@@ -32,8 +33,9 @@ var (
 	// ErrNotDeployed is reported when invoking an undeployed function.
 	ErrNotDeployed = errors.New("serverless: function not deployed")
 	// ErrTransient is an injected infrastructure failure (a crashed
-	// container, a dropped invocation). Callers should retry.
-	ErrTransient = errors.New("serverless: transient invocation failure")
+	// container, a dropped invocation). It wraps model.ErrTransient, so
+	// callers classify it with model.Transient and should retry.
+	ErrTransient = fmt.Errorf("serverless: transient invocation failure: %w", model.ErrTransient)
 )
 
 // PriceTable describes the platform's billing model, optionally with a
@@ -362,6 +364,7 @@ type Platform struct {
 	eng *sim.Engine
 	src *rng.Source
 	cfg Config
+	inj fault.Injector
 
 	functions map[string]*Function
 	slots     *sim.Resource // account concurrency
@@ -386,14 +389,26 @@ func NewPlatform(eng *sim.Engine, src *rng.Source, cfg Config) *Platform {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Platform{
+	p := &Platform{
 		eng:       eng,
 		src:       src,
 		cfg:       cfg,
 		functions: make(map[string]*Function),
 		slots:     sim.NewResource(eng, cfg.Name+"/concurrency", cfg.ConcurrencyLimit),
 	}
+	if cfg.FailureRate > 0 {
+		// The legacy memoryless failure knob is the i.i.d. special case of
+		// the composite fault model, bound to the platform's own stream so
+		// the draw order (and therefore every golden) is unchanged.
+		p.inj = fault.IID(src, cfg.FailureRate)
+	}
+	return p
 }
+
+// SetFaultInjector replaces the platform's fault model (including any
+// injector derived from Config.FailureRate). A nil injector disables
+// fault injection.
+func (p *Platform) SetFaultInjector(inj fault.Injector) { p.inj = inj }
 
 // Config returns the platform configuration.
 func (p *Platform) Config() Config { return p.cfg }
@@ -628,16 +643,25 @@ func (f *Function) Execute(task *model.Task, done func(model.ExecReport)) {
 			p.stats.ColdStarts++
 		}
 		exec := p.cfg.ExecTime(task, f.cfg.MemoryBytes)
+		// Fault model: sampled before the timeout clamp so a straggler
+		// slowdown can push the invocation over the timeout, while a crash
+		// cuts the (possibly clamped) execution short at CrashFrac of the
+		// way through — still billed, as real platforms do.
+		dec := fault.Decision{Slowdown: 1}
+		if p.inj != nil {
+			dec = p.inj.Decide(granted)
+		}
+		if dec.Slowdown > 1 {
+			exec = sim.Duration(float64(exec) * dec.Slowdown)
+		}
 		timedOut := false
 		if to := f.timeout(); to > 0 && exec > to {
 			exec = to
 			timedOut = true
 		}
-		// Injected infrastructure failure: the container dies a uniform
-		// fraction of the way through execution.
-		crashed := p.cfg.FailureRate > 0 && p.src.Bool(p.cfg.FailureRate)
+		crashed := dec.Crash
 		if crashed {
-			exec = sim.Duration(float64(exec) * p.src.Float64())
+			exec = sim.Duration(float64(exec) * dec.CrashFrac)
 			timedOut = false
 		}
 		p.eng.After(cold+exec, func() {
