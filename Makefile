@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt race fuzz ci determinism golden bench bench-full results examples clean
+.PHONY: all build test vet fmt race fuzz ci determinism metrics-golden golden bench bench-full results examples clean
 
 all: build vet test
 
@@ -26,8 +26,8 @@ race:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzFaultInjector -fuzztime=10s ./internal/fault/
 
-# Everything CI runs, in order: the gates plus the determinism diff.
-ci: build vet fmt test race fuzz determinism
+# Everything CI runs, in order: the gates plus the determinism diffs.
+ci: build vet fmt test race fuzz determinism metrics-golden
 
 # Prove offbench's stdout is byte-identical serial vs parallel and still
 # matches the committed quick-scale goldens.
@@ -40,11 +40,27 @@ determinism:
 	/tmp/offbench-ci -scale quick -csv -seed 1 -parallel 4 -quiet -out /tmp/offbench-golden > /dev/null
 	diff -ru results/golden /tmp/offbench-golden
 
+# Prove the -metrics export merges deterministically: serial and parallel
+# runs must produce byte-identical files, and the committed samples (one
+# time series, one merged registry) must still match.
+metrics-golden:
+	$(GO) build -o /tmp/offbench-ci ./cmd/offbench
+	rm -rf /tmp/offbench-metrics-serial /tmp/offbench-metrics-parallel
+	/tmp/offbench-ci -scale quick -csv -seed 1 -exp E1 -parallel 1 -quiet -metrics /tmp/offbench-metrics-serial > /dev/null
+	/tmp/offbench-ci -scale quick -csv -seed 1 -exp E1 -parallel 4 -quiet -metrics /tmp/offbench-metrics-parallel > /dev/null
+	diff -r /tmp/offbench-metrics-serial /tmp/offbench-metrics-parallel
+	cmp results/metrics-golden/e1_cell001.csv /tmp/offbench-metrics-serial/e1_cell001.csv
+	cmp results/metrics-golden/e1_registry.csv /tmp/offbench-metrics-serial/e1_registry.csv
+
 # Regenerate the committed quick-scale golden CSVs after an intentional
 # change to experiment output.
 golden:
-	rm -rf results/golden
+	rm -rf results/golden results/metrics-golden
 	$(GO) run ./cmd/offbench -scale quick -csv -seed 1 -quiet -out results/golden > /dev/null
+	$(GO) run ./cmd/offbench -scale quick -csv -seed 1 -exp E1 -quiet -metrics /tmp/offbench-metrics-regen > /dev/null
+	mkdir -p results/metrics-golden
+	cp /tmp/offbench-metrics-regen/e1_cell001.csv /tmp/offbench-metrics-regen/e1_registry.csv results/metrics-golden/
+	rm -rf /tmp/offbench-metrics-regen
 
 bench:
 	$(GO) test -bench=. -benchmem

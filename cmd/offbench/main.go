@@ -49,6 +49,7 @@ func run(args []string, registry []exp.Experiment, stdout, stderr io.Writer) int
 		scaleFlag    = fs.String("scale", "full", "scale: quick or full")
 		csvFlag      = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		outFlag      = fs.String("out", "", "also write each table as a CSV file into this directory")
+		metricsFlag  = fs.String("metrics", "", "export sim-time series and merged metrics registries (CSV + JSONL) into this directory")
 		listFlag     = fs.Bool("list", false, "list experiments and exit")
 		seedFlag     = fs.Uint64("seed", 1, "base RNG seed")
 		parallelFlag = fs.Int("parallel", 0, "worker-pool size (0 = NumCPU); output is identical for any value")
@@ -83,14 +84,20 @@ func run(args []string, registry []exp.Experiment, stdout, stderr io.Writer) int
 		return 2
 	}
 
-	if *outFlag != "" {
-		if err := os.MkdirAll(*outFlag, 0o755); err != nil {
+	for _, dir := range []string{*outFlag, *metricsFlag} {
+		if dir == "" {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
 			fmt.Fprintf(stderr, "offbench: %v\n", err)
 			return 1
 		}
 	}
 
 	runner := &exp.Runner{Scale: scale, Parallel: *parallelFlag}
+	if *metricsFlag != "" {
+		runner.ObserveEvery = metricsInterval
+	}
 	if !*quietFlag {
 		runner.OnResult = func(res exp.Result) {
 			switch {
@@ -129,6 +136,12 @@ func run(args []string, registry []exp.Experiment, stdout, stderr io.Writer) int
 				}
 			}
 		}
+		if *metricsFlag != "" {
+			if err := writeMetrics(*metricsFlag, res); err != nil {
+				fmt.Fprintf(stderr, "offbench: %v\n", err)
+				return 1
+			}
+		}
 	}
 
 	if runErr != nil {
@@ -140,6 +153,51 @@ func run(args []string, registry []exp.Experiment, stdout, stderr io.Writer) int
 		return 1
 	}
 	return 0
+}
+
+// metricsInterval is the sampling period for -metrics: 5 simulated
+// seconds, fine enough to show queue build-up at the suite's arrival
+// rates without bloating the export.
+const metricsInterval = 5
+
+// writeMetrics exports one experiment's observability data: each cell's
+// time series and the experiment's merged registry, as both CSV and JSONL.
+// Filenames derive only from series/registry names, and the data is a pure
+// function of the experiment's derived seed, so the directory contents are
+// byte-identical at any -parallel value.
+func writeMetrics(dir string, res exp.Result) error {
+	for _, ts := range res.Series {
+		if err := writeBoth(dir, ts.Name(), ts.WriteCSV, ts.WriteJSONL); err != nil {
+			return err
+		}
+	}
+	if res.Registry != nil {
+		name := res.Registry.Name() + "_registry"
+		if err := writeBoth(dir, name, res.Registry.WriteCSV, res.Registry.WriteJSONL); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeBoth writes <dir>/<name>.csv and <dir>/<name>.jsonl from the given
+// writer methods.
+func writeBoth(dir, name string, csv, jsonl func(io.Writer) error) error {
+	for ext, write := range map[string]func(io.Writer) error{".csv": csv, ".jsonl": jsonl} {
+		path := filepath.Join(dir, name+ext)
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+	}
+	return nil
 }
 
 // selectExperiments resolves a comma-separated ID list against the given

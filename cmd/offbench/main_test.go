@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -125,6 +127,70 @@ func TestRunRejectsUnknownScale(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-scale", "huge"}, fakeRegistry(false, false), &stdout, &stderr); code != 2 {
 		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+// TestRunMetricsExport: -metrics writes per-cell time series and a merged
+// registry per experiment, byte-identical across -parallel values, without
+// changing stdout.
+func TestRunMetricsExport(t *testing.T) {
+	readAll := func(dir string) map[string]string {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files := make(map[string]string, len(entries))
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			files[e.Name()] = string(data)
+		}
+		return files
+	}
+	var plain bytes.Buffer
+	if code := run([]string{"-scale", "quick", "-csv", "-seed", "3", "-exp", "E1,E12", "-quiet"},
+		exp.Registry(), &plain, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var got map[string]string
+	for _, parallel := range []string{"1", "4"} {
+		dir := t.TempDir()
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-scale", "quick", "-csv", "-seed", "3", "-exp", "E1,E12",
+			"-parallel", parallel, "-quiet", "-metrics", dir},
+			exp.Registry(), &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("parallel=%s: exit %d, stderr: %s", parallel, code, stderr.String())
+		}
+		if stdout.String() != plain.String() {
+			t.Fatal("-metrics changed stdout")
+		}
+		files := readAll(dir)
+		if got == nil {
+			got = files
+			continue
+		}
+		if len(files) != len(got) {
+			t.Fatalf("parallel=%s wrote %d files, parallel=1 wrote %d", parallel, len(files), len(got))
+		}
+		for name, content := range files {
+			if got[name] != content {
+				t.Fatalf("parallel=%s: %s differs from serial run", parallel, name)
+			}
+		}
+	}
+	for _, want := range []string{"e1_cell001.csv", "e1_cell001.jsonl", "e1_registry.csv", "e12_registry.jsonl"} {
+		if _, ok := got[want]; !ok {
+			t.Fatalf("missing export %s (have %d files)", want, len(got))
+		}
+	}
+	if !strings.HasPrefix(got["e1_cell001.csv"], "time_s,tasks_completed,") {
+		t.Fatalf("series header = %q", strings.SplitN(got["e1_cell001.csv"], "\n", 2)[0])
+	}
+	if !strings.Contains(got["e12_registry.csv"], "cost_usd{state=failed}") {
+		t.Fatal("registry export missing failed-cost counter")
 	}
 }
 

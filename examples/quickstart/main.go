@@ -33,15 +33,17 @@ func main() {
 	sys.SubmitStream(offload.NewPoisson(sys.Src.Split(), 0.02), gen, 200)
 	sys.Run()
 
-	st := sys.Stats()
-	fmt.Printf("tasks completed:   %d (failed %d)\n", st.Completed, st.Failed)
-	fmt.Printf("mean completion:   %.1f s (p95 %.1f s)\n", st.MeanCompletion(), st.P95Completion())
-	fmt.Printf("deadline misses:   %.1f%%\n", 100*st.MissRate())
-	fmt.Printf("marginal cost:     $%.6f per task\n", st.CostPerTask())
-	fmt.Printf("infrastructure:    $%.4f accrued\n", sys.InfrastructureCostUSD())
-	fmt.Printf("device energy:     %.0f mJ per task\n", st.EnergyPerTaskMilliJ())
+	// Report is the same summary the bench tables and the CI/CD SLO gate
+	// read — one source of truth for every consumer.
+	rep := sys.Report()
+	fmt.Printf("tasks completed:   %d (failed %d)\n", rep.Completed, rep.Failed)
+	fmt.Printf("mean completion:   %.1f s (p95 %.1f s)\n", rep.MeanCompletionS, rep.P95CompletionS)
+	fmt.Printf("deadline misses:   %.1f%%\n", 100*rep.MissRate)
+	fmt.Printf("marginal cost:     $%.6f per task\n", rep.CostPerTaskUSD)
+	fmt.Printf("infrastructure:    $%.4f accrued\n", rep.InfraCostUSD)
+	fmt.Printf("device energy:     %.0f mJ per task\n", rep.EnergyPerTaskMilliJ)
 	fmt.Println("\nwhere the work ran:")
-	for placement, n := range st.ByPlacement {
+	for placement, n := range sys.Stats().ByPlacement {
 		fmt.Printf("  %-10s %d\n", placement, n)
 	}
 }

@@ -162,6 +162,18 @@ func (f *Fleet) Instances() int {
 	return n
 }
 
+// BusyCores returns cores executing a task right now across live
+// instances.
+func (f *Fleet) BusyCores() int {
+	n := 0
+	for _, in := range f.instances {
+		if !in.retired {
+			n += in.busy
+		}
+	}
+	return n
+}
+
 // Execute runs the task on a free core; if the fleet is saturated and can
 // scale, a new instance boots. Per-task marginal cost is zero; the fleet
 // accrues instance-hours instead.

@@ -160,7 +160,8 @@ type System struct {
 	Shifter   *sched.OffPeakShifter // nil unless off-peak shifting is on
 	Recorder  *trace.Recorder
 
-	cfg Config
+	observer *Observer // nil unless Observe was called
+	cfg      Config
 }
 
 // NewSystem builds a System from the configuration.
@@ -357,8 +358,18 @@ func (s *System) Run() {
 	if s.Batcher != nil {
 		// Flush at the point all arrivals have been injected: run the
 		// event queue, flush leftovers, and drain again.
-		s.Eng.Run()
+		s.drain()
 		s.Batcher.Flush()
+	}
+	s.drain()
+}
+
+// drain runs the event queue to empty, interleaving observer samples when
+// one is attached.
+func (s *System) drain() {
+	if s.observer != nil {
+		s.observer.drive()
+		return
 	}
 	s.Eng.Run()
 }

@@ -158,12 +158,26 @@ type FleetStats struct {
 	CostUSD        float64
 	EnergyMilliJ   float64
 
+	// Spend sunk into tasks that ultimately failed; CostUSD above covers
+	// completed tasks only (see sched.Stats).
+	FailedCostUSD      float64
+	FailedEnergyMilliJ float64
+
+	// Completion is the fleet-wide completion-time distribution, merged
+	// from every device's histogram without shared state, so quantiles
+	// (P95Completion) are available at fleet scope too.
+	Completion *metrics.Histogram
+
 	ByPlacement map[model.Placement]uint64
 }
 
-// Stats aggregates across the fleet.
+// Stats aggregates across the fleet. Per-device histograms merge in device
+// order, so the aggregate is deterministic for a given configuration.
 func (f *Fleet) Stats() FleetStats {
-	out := FleetStats{ByPlacement: make(map[model.Placement]uint64)}
+	out := FleetStats{
+		ByPlacement: make(map[model.Placement]uint64),
+		Completion:  metrics.NewLatencyHistogram(),
+	}
 	var meanSum float64
 	for _, s := range f.Schedulers {
 		st := s.Stats()
@@ -173,6 +187,11 @@ func (f *Fleet) Stats() FleetStats {
 		out.Retries += st.Retries
 		out.CostUSD += st.CostUSD
 		out.EnergyMilliJ += st.EnergyMilliJ
+		out.FailedCostUSD += st.FailedCostUSD
+		out.FailedEnergyMilliJ += st.FailedEnergyMilliJ
+		if err := out.Completion.Merge(st.Completion); err != nil {
+			panic(err) // all schedulers use NewLatencyHistogram; cannot happen
+		}
 		meanSum += st.MeanCompletion() * float64(st.Completed)
 		for p, n := range st.ByPlacement {
 			out.ByPlacement[p] += n
@@ -183,6 +202,14 @@ func (f *Fleet) Stats() FleetStats {
 	}
 	return out
 }
+
+// TotalCostUSD returns per-task spend across the fleet, completed and
+// failed tasks alike.
+func (s FleetStats) TotalCostUSD() float64 { return s.CostUSD + s.FailedCostUSD }
+
+// P95Completion returns the fleet-wide 95th-percentile completion time in
+// seconds, from the merged per-device histograms.
+func (s FleetStats) P95Completion() float64 { return s.Completion.Quantile(0.95) }
 
 // MissRate returns the fleet-wide deadline-miss fraction.
 func (s FleetStats) MissRate() float64 {

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"offload/internal/metrics"
+)
+
+// Report is the run summary every consumer reads from the same place: the
+// examples, the CI/CD SLO gate and the offbench tables all see identical
+// numbers because they all come through here.
+type Report struct {
+	Policy PolicyName
+
+	Completed uint64
+	Failed    uint64
+	Missed    uint64
+	Retries   uint64
+	Timeouts  uint64
+	Hedges    uint64
+	Fallbacks uint64
+
+	MeanCompletionS float64
+	P95CompletionS  float64
+	MissRate        float64
+
+	// Spend splits by task fate; CompletedCostUSD + FailedCostUSD equals
+	// the platforms' per-task billing.
+	CompletedCostUSD float64
+	FailedCostUSD    float64
+	InfraCostUSD     float64 // provisioning, instance-hours, capacity fees
+
+	CostPerTaskUSD      float64 // total per-task spend / completed tasks
+	EnergyPerTaskMilliJ float64
+
+	ColdStartFraction float64 // 0 when no serverless platform is present
+}
+
+// TotalCostUSD returns all money spent: per-task billing for completed and
+// failed tasks plus infrastructure accrual.
+func (r Report) TotalCostUSD() float64 {
+	return r.CompletedCostUSD + r.FailedCostUSD + r.InfraCostUSD
+}
+
+// Report summarises the run so far. Call after System.Run.
+func (s *System) Report() Report {
+	st := s.Stats()
+	r := Report{
+		Policy:              s.cfg.Policy,
+		Completed:           st.Completed,
+		Failed:              st.Failed,
+		Missed:              st.Missed,
+		Retries:             st.Retries,
+		Timeouts:            st.Timeouts,
+		Hedges:              st.Hedges,
+		Fallbacks:           st.Fallbacks,
+		MeanCompletionS:     st.MeanCompletion(),
+		P95CompletionS:      st.P95Completion(),
+		MissRate:            st.MissRate(),
+		CompletedCostUSD:    st.CostUSD,
+		FailedCostUSD:       st.FailedCostUSD,
+		InfraCostUSD:        s.InfrastructureCostUSD(),
+		CostPerTaskUSD:      st.CostPerTask(),
+		EnergyPerTaskMilliJ: st.EnergyPerTaskMilliJ(),
+	}
+	if p := s.Platform(); p != nil {
+		r.ColdStartFraction = p.ColdStartFraction()
+	}
+	return r
+}
+
+// Table renders the report as a two-column metrics.Table for printing.
+func (r Report) Table() *metrics.Table {
+	t := metrics.NewTable("run report · policy="+string(r.Policy), "metric", "value")
+	t.AddRowf("completed", r.Completed)
+	t.AddRowf("failed", r.Failed)
+	t.AddRowf("missed deadline", r.Missed)
+	t.AddRowf("retries", r.Retries)
+	t.AddRowf("timeouts", r.Timeouts)
+	t.AddRowf("hedges", r.Hedges)
+	t.AddRowf("fallbacks", r.Fallbacks)
+	t.AddRowf("mean completion (s)", fmtF(r.MeanCompletionS))
+	t.AddRowf("p95 completion (s)", fmtF(r.P95CompletionS))
+	t.AddRowf("miss rate", fmtF(r.MissRate))
+	t.AddRowf("cost completed (USD)", fmtF(r.CompletedCostUSD))
+	t.AddRowf("cost failed (USD)", fmtF(r.FailedCostUSD))
+	t.AddRowf("cost infra (USD)", fmtF(r.InfraCostUSD))
+	t.AddRowf("cost total (USD)", fmtF(r.TotalCostUSD()))
+	t.AddRowf("cost per task (USD)", fmtF(r.CostPerTaskUSD))
+	t.AddRowf("energy per task (mJ)", fmtF(r.EnergyPerTaskMilliJ))
+	t.AddRowf("cold-start fraction", fmtF(r.ColdStartFraction))
+	return t
+}
+
+func fmtF(v float64) string {
+	return metrics.FormatFloat(v)
+}

@@ -168,6 +168,9 @@ func (c *Cluster) ProvisionedCostUSD() float64 {
 // Utilization returns the time-averaged core utilisation.
 func (c *Cluster) Utilization() float64 { return c.cores.Utilization() }
 
+// BusyCores returns cores executing a task right now.
+func (c *Cluster) BusyCores() int { return c.cores.InUse() }
+
 // Executed returns how many tasks completed on the site.
 func (c *Cluster) Executed() uint64 { return c.executed }
 

@@ -64,7 +64,7 @@ func E1Placement(s Scale) ([]*metrics.Table, error) {
 			cfg := e1ConfigFor(policy)
 			cfg.Seed = s.Seed
 			cfg.ArrivalRateHint = e1Rate
-			res, err := runCell(cfg, mix, e1Rate, s.Tasks)
+			res, err := runCell(s, cfg, mix, e1Rate)
 			if err != nil {
 				return nil, err
 			}

@@ -48,7 +48,7 @@ func E11OffPeak(s Scale) ([]*metrics.Table, error) {
 			cfg.Serverless = &sl
 			cfg.ArrivalRateHint = e1Rate
 			cfg.OffPeakShift = shift
-			res, err := runCellAt(cfg, scaled, e1Rate, s.Tasks, startAt)
+			res, err := runCellAt(s, cfg, scaled, e1Rate, startAt)
 			if err != nil {
 				return nil, err
 			}

@@ -39,7 +39,7 @@ func E12Failures(s Scale) ([]*metrics.Table, error) {
 			cfg.ArrivalRateHint = e1Rate
 			cfg.Retries = attempts
 			cfg.RetryBackoff = 5
-			res, err := runCell(cfg, mix, e1Rate, s.Tasks)
+			res, err := runCell(s, cfg, mix, e1Rate)
 			if err != nil {
 				return nil, err
 			}

@@ -56,7 +56,7 @@ func E13DVFS(s Scale) ([]*metrics.Table, error) {
 			if mode.name == "local-dvfs" {
 				rate = e1Rate / 4
 			}
-			res, err := runCell(cfg, mix, rate, s.Tasks)
+			res, err := runCell(s, cfg, mix, rate)
 			if err != nil {
 				return nil, err
 			}

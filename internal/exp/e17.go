@@ -95,7 +95,7 @@ func E17Resilience(s Scale) ([]*metrics.Table, error) {
 				StragglerProb: 0.05, StragglerFactor: 4, StragglerAlpha: 1.5,
 			}
 			strat.apply(&cfg)
-			res, err := runCell(cfg, mix, e17Rate, s.Tasks)
+			res, err := runCell(s, cfg, mix, e17Rate)
 			if err != nil {
 				return nil, err
 			}

@@ -37,7 +37,7 @@ func E4ColdStart(s Scale) ([]*metrics.Table, error) {
 			sl.KeepAlive = ka
 			cfg.Serverless = &sl
 			cfg.ArrivalRateHint = rate
-			res, err := runCell(cfg, mix, rate, s.Tasks)
+			res, err := runCell(s, cfg, mix, rate)
 			if err != nil {
 				return nil, err
 			}
@@ -65,7 +65,7 @@ func E4ColdStart(s Scale) ([]*metrics.Table, error) {
 		if size > 1 {
 			cfg.Batch = &core.BatchConfig{Size: size, MaxWait: 3600}
 		}
-		res, err := runCell(cfg, mix, 0.002, s.Tasks)
+		res, err := runCell(s, cfg, mix, 0.002)
 		if err != nil {
 			return nil, err
 		}
@@ -92,7 +92,7 @@ func E4ColdStart(s Scale) ([]*metrics.Table, error) {
 			if aware {
 				cfg.ArrivalRateHint = rate
 			}
-			res, err := runCell(cfg, mix, rate, s.Tasks)
+			res, err := runCell(s, cfg, mix, rate)
 			if err != nil {
 				return nil, err
 			}
@@ -119,7 +119,7 @@ func E4ColdStart(s Scale) ([]*metrics.Table, error) {
 			cfg.Edge, cfg.EdgePath, cfg.VM = nil, nil, nil
 			cfg.ArrivalRateHint = rate
 			cfg.ProvisionedConcurrency = prov
-			res, err := runCell(cfg, mix, rate, s.Tasks)
+			res, err := runCell(s, cfg, mix, rate)
 			if err != nil {
 				return nil, err
 			}

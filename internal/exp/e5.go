@@ -42,7 +42,7 @@ func E5Energy(s Scale) ([]*metrics.Table, error) {
 			// battery never cuts the run short, then project.
 			batteryJ := cfg.Device.BatteryJ
 			cfg.Device.BatteryJ = 0
-			res, err := runCell(cfg, mix, e1Rate, s.Tasks)
+			res, err := runCell(s, cfg, mix, e1Rate)
 			if err != nil {
 				return nil, err
 			}
@@ -82,7 +82,7 @@ func E5Energy(s Scale) ([]*metrics.Table, error) {
 			cfg.Seed = s.Seed
 			cfg.Policy = core.PolicyLocalOnly
 			cfg.Device.BatteryJ = 0
-			res, err := runCell(cfg, mix, e1Rate, s.Tasks)
+			res, err := runCell(s, cfg, mix, e1Rate)
 			if err != nil {
 				return nil, err
 			}
@@ -100,7 +100,7 @@ func E5Energy(s Scale) ([]*metrics.Table, error) {
 				cfg.CloudPath = &lte
 			}
 			cfg.Device.BatteryJ = 0
-			res, err := runCell(cfg, mix, e1Rate, s.Tasks)
+			res, err := runCell(s, cfg, mix, e1Rate)
 			if err != nil {
 				return nil, err
 			}

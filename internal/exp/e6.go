@@ -37,7 +37,7 @@ func E6DeadlineSlack(s Scale) ([]*metrics.Table, error) {
 			cfg.Seed = s.Seed
 			cfg.Policy = policy
 			cfg.ArrivalRateHint = e1Rate
-			res, err := runCell(cfg, scaled, e1Rate, s.Tasks)
+			res, err := runCell(s, cfg, scaled, e1Rate)
 			if err != nil {
 				return nil, err
 			}

@@ -24,6 +24,12 @@ type Scale struct {
 	RandomSeeds int    // replications / random instances
 	Devices     int    // E9 fleet bound
 	Seed        uint64 // base RNG seed
+
+	// Obs, when non-nil, makes every simulated cell sample a time series
+	// and bank its end-of-run metrics registry. Observability only — it
+	// never changes table cells. The Runner sets this per experiment; see
+	// Runner.ObserveEvery.
+	Obs *Observation
 }
 
 // Quick is the CI-friendly scale.

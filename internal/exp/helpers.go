@@ -20,23 +20,30 @@ type runResult struct {
 	system    *core.System
 }
 
-// runCell builds a system from cfg, streams count tasks of the template
+// runCell builds a system from cfg, streams s.Tasks tasks of the template
 // mix at the Poisson rate, runs to completion, and returns the aggregate.
-func runCell(cfg core.Config, mix []workload.WeightedTemplate, rate float64, count int) (runResult, error) {
-	return runCellAt(cfg, mix, rate, count, 0)
+// When the Scale carries an Observation, the cell is sampled while it runs
+// and its end-of-run registry folds into the experiment-wide aggregate.
+func runCell(s Scale, cfg core.Config, mix []workload.WeightedTemplate, rate float64) (runResult, error) {
+	return runCellAt(s, cfg, mix, rate, 0)
 }
 
 // runCellAt is runCell with the stream starting at the given virtual time
 // (used by E11 to begin arrivals during peak pricing hours).
-func runCellAt(cfg core.Config, mix []workload.WeightedTemplate, rate float64, count int, startAt sim.Time) (runResult, error) {
+func runCellAt(s Scale, cfg core.Config, mix []workload.WeightedTemplate, rate float64, startAt sim.Time) (runResult, error) {
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return runResult{}, err
+	}
+	var obs *core.Observer
+	if s.Obs != nil {
+		obs = s.Obs.attach(sys)
 	}
 	gen, err := workload.NewGenerator(sys.Src.Split(), mix)
 	if err != nil {
 		return runResult{}, err
 	}
+	count := s.Tasks
 	if startAt > 0 {
 		sys.Eng.At(startAt, func() {
 			sys.SubmitStream(workload.NewPoisson(sys.Src.Split(), rate), gen, count)
@@ -45,6 +52,11 @@ func runCellAt(cfg core.Config, mix []workload.WeightedTemplate, rate float64, c
 		sys.SubmitStream(workload.NewPoisson(sys.Src.Split(), rate), gen, count)
 	}
 	sys.Run()
+	if s.Obs != nil {
+		if err := s.Obs.collect(obs, sys); err != nil {
+			return runResult{}, err
+		}
+	}
 
 	res := runResult{
 		stats:     sys.Stats(),

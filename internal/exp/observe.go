@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"offload/internal/core"
+	"offload/internal/metrics"
+	"offload/internal/sim"
+)
+
+// Observation collects sim-time samples and end-of-run metrics across the
+// cells of one experiment. Cells within an experiment run sequentially, so
+// series append and registries merge in a fixed order — the resulting
+// export is byte-identical at any Runner parallelism, since workers only
+// decide when an experiment runs, never the order of its cells.
+//
+// Observation is observability only: attaching one never changes table
+// cells (sampling is read-only and draws no randomness).
+type Observation struct {
+	every    sim.Duration
+	expID    string
+	cells    int
+	series   []*metrics.TimeSeries
+	registry *metrics.Registry
+}
+
+// NewObservation returns a collector sampling every interval of simulated
+// time for the experiment with the given ID.
+func NewObservation(expID string, every sim.Duration) *Observation {
+	if every <= 0 {
+		panic("exp: observation interval must be positive")
+	}
+	return &Observation{
+		every:    every,
+		expID:    expID,
+		registry: metrics.NewRegistry(strings.ToLower(expID)),
+	}
+}
+
+// attach starts sampling a freshly built cell. Call before System.Run.
+func (o *Observation) attach(sys *core.System) *core.Observer {
+	o.cells++
+	name := fmt.Sprintf("%s_cell%03d", strings.ToLower(o.expID), o.cells)
+	return sys.Observe(name, o.every)
+}
+
+// collect banks a finished cell: its time series verbatim and its
+// end-of-run registry merged into the experiment-wide aggregate.
+func (o *Observation) collect(obs *core.Observer, sys *core.System) error {
+	o.series = append(o.series, obs.Series())
+	return o.registry.Merge(sys.Registry(o.registry.Name()))
+}
+
+// Series returns one time series per observed cell, in cell order.
+func (o *Observation) Series() []*metrics.TimeSeries { return o.series }
+
+// Registry returns the merged end-of-run metrics across all cells.
+func (o *Observation) Registry() *metrics.Registry { return o.registry }

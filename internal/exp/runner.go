@@ -10,6 +10,7 @@ import (
 
 	"offload/internal/metrics"
 	"offload/internal/rng"
+	"offload/internal/sim"
 )
 
 // Result is the outcome of one experiment executed by a Runner.
@@ -31,6 +32,14 @@ type Result struct {
 	// data output stays byte-identical across runs and worker counts.
 	Elapsed    time.Duration
 	AllocBytes uint64
+
+	// Series and Registry carry the experiment's sim-time samples and
+	// merged end-of-run metrics when the Runner's ObserveEvery is set; nil
+	// otherwise (and empty for experiments that simulate no cells). Both
+	// are pure functions of the derived seed, so they are byte-identical
+	// at any Parallel value.
+	Series   []*metrics.TimeSeries
+	Registry *metrics.Registry
 }
 
 // Runner executes a set of experiments on a bounded worker pool with
@@ -53,6 +62,10 @@ type Runner struct {
 	// OnResult, if non-nil, is invoked as each experiment finishes, in
 	// completion order (not suite order). Calls are serialized.
 	OnResult func(Result)
+	// ObserveEvery, when positive, attaches a sim-time observer to every
+	// simulated cell (see Observation) and fills each Result's Series and
+	// Registry. Zero disables observation.
+	ObserveEvery sim.Duration
 }
 
 // Run executes exps and returns one Result per experiment, in input
@@ -140,6 +153,9 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment) ([]Result, error) {
 func (r *Runner) runOne(e Experiment) (res Result) {
 	s := r.Scale
 	s.Seed = rng.Derive(r.Scale.Seed, uint64(e.Seq))
+	if r.ObserveEvery > 0 {
+		s.Obs = NewObservation(e.ID, r.ObserveEvery)
+	}
 	res = Result{ID: e.ID, Claim: e.Claim, Seed: s.Seed}
 
 	var ms runtime.MemStats
@@ -164,5 +180,9 @@ func (r *Runner) runOne(e Experiment) (res Result) {
 		return res
 	}
 	res.Tables = tables
+	if s.Obs != nil {
+		res.Series = s.Obs.Series()
+		res.Registry = s.Obs.Registry()
+	}
 	return res
 }

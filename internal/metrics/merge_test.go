@@ -1,0 +1,341 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"offload/internal/rng"
+)
+
+// TestHistogramQuantileWithinDocumentedError: against exact sorted-slice
+// quantiles, the bucketed estimate must stay within the documented 5%
+// relative error (the growth factor of NewLatencyHistogram buckets), for
+// every quantile and across distributions.
+func TestHistogramQuantileWithinDocumentedError(t *testing.T) {
+	src := rng.New(7)
+	dists := map[string]func() float64{
+		"lognormal": func() float64 { return src.LogNormal(0, 1.5) },
+		"exp":       func() float64 { return src.Exp(0.05) },
+		"uniform":   func() float64 { return 1e-3 + src.Float64()*1e3 },
+	}
+	for name, draw := range dists {
+		h := NewLatencyHistogram()
+		values := make([]float64, 0, 20000)
+		for i := 0; i < 20000; i++ {
+			v := draw()
+			values = append(values, v)
+			h.Observe(v)
+		}
+		sort.Float64s(values)
+		for q := 0.01; q <= 1.0; q += 0.01 {
+			target := int(math.Ceil(q * float64(len(values))))
+			if target == 0 {
+				target = 1
+			}
+			exact := values[target-1]
+			got := h.Quantile(q)
+			if rel := math.Abs(got-exact) / exact; rel > 0.0501 {
+				t.Fatalf("%s: Quantile(%.2f) = %g, exact %g, rel err %.3f > 5%%",
+					name, q, got, exact, rel)
+			}
+		}
+	}
+}
+
+// TestHistogramMaxAllNegative: before the fix the max field started at 0,
+// so all-negative inputs reported Max() == 0, a value never observed.
+func TestHistogramMaxAllNegative(t *testing.T) {
+	h := NewHistogram(1, 100, 1.5)
+	h.Observe(-3)
+	h.Observe(-1)
+	if got := h.Max(); got != -1 {
+		t.Fatalf("Max = %g, want -1 (all-negative observations)", got)
+	}
+	if got := h.Min(); got != -3 {
+		t.Fatalf("Min = %g, want -3", got)
+	}
+	if got := h.Quantile(0.99); got < -3 || got > -1 {
+		t.Fatalf("Quantile(0.99) = %g outside observed range [-3,-1]", got)
+	}
+}
+
+// TestHistogramQuantileClampedToObservedRange: a bucket's upper edge can
+// exceed the largest observation; the estimate must be clamped to it.
+func TestHistogramQuantileClampedToObservedRange(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(2.0) // bucket upper edge is ~2.04
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := h.Quantile(q); got != 2.0 {
+			t.Fatalf("Quantile(%g) = %g, want exactly 2.0 (single observation)", q, got)
+		}
+	}
+	h2 := NewLatencyHistogram()
+	h2.Observe(1e-9) // underflow only
+	if got := h2.Quantile(0.5); got != 1e-9 {
+		t.Fatalf("Quantile(0.5) = %g, want 1e-9 (underflow clamped to observed min)", got)
+	}
+}
+
+// TestHistogramMergeAssociative uses integer observations — exactly
+// representable, so float sums are associative — to check that merge order
+// does not change any statistic.
+func TestHistogramMergeAssociative(t *testing.T) {
+	build := func(vals ...float64) *Histogram {
+		h := NewLatencyHistogram()
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return h
+	}
+	a := build(1, 2, 4, 1024)
+	b := build(8, 16, 0.5)
+	c := build(32, 64, 128, 256, 3)
+
+	left := build() // (a ⊕ b) ⊕ c
+	for _, h := range []*Histogram{a, b} {
+		if err := left.Merge(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := left.Merge(c); err != nil {
+		t.Fatal(err)
+	}
+	right := build() // a ⊕ (b ⊕ c)
+	bc := build()
+	for _, h := range []*Histogram{b, c} {
+		if err := bc.Merge(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range []*Histogram{a, bc} {
+		if err := right.Merge(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oneShot := build(1, 2, 4, 1024, 8, 16, 0.5, 32, 64, 128, 256, 3)
+
+	for _, pair := range []struct {
+		name string
+		x, y *Histogram
+	}{
+		{"(a⊕b)⊕c vs a⊕(b⊕c)", left, right},
+		{"(a⊕b)⊕c vs one-shot", left, oneShot},
+	} {
+		if pair.x.Count() != pair.y.Count() {
+			t.Fatalf("%s: Count %d != %d", pair.name, pair.x.Count(), pair.y.Count())
+		}
+		if pair.x.Sum() != pair.y.Sum() {
+			t.Fatalf("%s: Sum %g != %g", pair.name, pair.x.Sum(), pair.y.Sum())
+		}
+		if pair.x.Min() != pair.y.Min() || pair.x.Max() != pair.y.Max() {
+			t.Fatalf("%s: range [%g,%g] != [%g,%g]", pair.name,
+				pair.x.Min(), pair.x.Max(), pair.y.Min(), pair.y.Max())
+		}
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			if gx, gy := pair.x.Quantile(q), pair.y.Quantile(q); gx != gy {
+				t.Fatalf("%s: Quantile(%g) %g != %g", pair.name, q, gx, gy)
+			}
+		}
+	}
+}
+
+func TestHistogramMergeIncompatible(t *testing.T) {
+	h := NewHistogram(1, 100, 1.5)
+	if err := h.Merge(NewHistogram(2, 100, 1.5)); err == nil {
+		t.Fatal("merging different min succeeded")
+	}
+	if err := h.Merge(NewHistogram(1, 100, 1.6)); err == nil {
+		t.Fatal("merging different growth succeeded")
+	}
+	if err := h.Merge(nil); err == nil {
+		t.Fatal("merging nil succeeded")
+	}
+	if err := h.Merge(NewHistogram(1, 100, 1.5)); err != nil {
+		t.Fatalf("merging identical geometry failed: %v", err)
+	}
+}
+
+// TestSummaryMergeMatchesSinglePass: the parallel Welford combine must
+// agree with observing everything on one Summary.
+func TestSummaryMergeMatchesSinglePass(t *testing.T) {
+	src := rng.New(11)
+	var whole Summary
+	parts := make([]Summary, 4)
+	for i := 0; i < 10000; i++ {
+		v := src.LogNormal(1, 0.7)
+		whole.Observe(v)
+		parts[i%len(parts)].Observe(v)
+	}
+	var merged Summary
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.N() != whole.N() {
+		t.Fatalf("N = %d, want %d", merged.N(), whole.N())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("range [%g,%g] != [%g,%g]", merged.Min(), merged.Max(), whole.Min(), whole.Max())
+	}
+	if rel := math.Abs(merged.Mean()-whole.Mean()) / whole.Mean(); rel > 1e-12 {
+		t.Fatalf("Mean %g vs %g (rel %g)", merged.Mean(), whole.Mean(), rel)
+	}
+	if rel := math.Abs(merged.Variance()-whole.Variance()) / whole.Variance(); rel > 1e-9 {
+		t.Fatalf("Variance %g vs %g (rel %g)", merged.Variance(), whole.Variance(), rel)
+	}
+
+	// Merging into an empty summary adopts the other side verbatim, and
+	// merging an empty summary is a no-op.
+	var empty Summary
+	empty.Merge(whole)
+	if empty.N() != whole.N() || empty.Mean() != whole.Mean() {
+		t.Fatal("merge into empty summary did not adopt")
+	}
+	before := whole
+	whole.Merge(Summary{})
+	if whole != before {
+		t.Fatal("merging an empty summary changed the receiver")
+	}
+}
+
+func TestRegistryGetOrCreateAndKeys(t *testing.T) {
+	r := NewRegistry("test")
+	c := r.Counter("tasks", L("state", "done"))
+	c.Inc()
+	r.Counter("tasks", L("state", "done")).Add(2)
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %g, want 3 (lookup did not return same instance)", got)
+	}
+	// Label order must not matter: both orders hit one series.
+	r.Gauge("depth", L("a", "1"), L("b", "2")).Set(5)
+	r.Gauge("depth", L("b", "2"), L("a", "1")).Set(7)
+	if got := r.Gauge("depth", L("a", "1"), L("b", "2")).Value(); got != 7 {
+		t.Fatalf("gauge = %g, want 7 (label order created separate series)", got)
+	}
+	if k := Key("m", []Label{{"z", "1"}, {"a", "2"}}); k != "m{a=2,z=1}" {
+		t.Fatalf("Key = %q", k)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative counter Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestRegistryMerge(t *testing.T) {
+	a := NewRegistry("a")
+	a.Counter("n").Add(2)
+	a.Gauge("peak").Set(5)
+	a.LatencyHistogram("lat").Observe(1)
+
+	b := NewRegistry("b")
+	b.Counter("n").Add(3)
+	b.Counter("only_b").Inc()
+	b.Gauge("peak").Set(4)
+	b.LatencyHistogram("lat").Observe(2)
+
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Counter("n").Value(); got != 5 {
+		t.Fatalf("counter n = %g, want 5", got)
+	}
+	if got := a.Counter("only_b").Value(); got != 1 {
+		t.Fatalf("adopted counter = %g, want 1", got)
+	}
+	if got := a.Gauge("peak").Value(); got != 5 {
+		t.Fatalf("gauge = %g, want 5 (max wins)", got)
+	}
+	if got := a.LatencyHistogram("lat").Count(); got != 2 {
+		t.Fatalf("histogram count = %d, want 2", got)
+	}
+	// Adopted metrics are copies: mutating b must not leak into a.
+	b.Counter("only_b").Inc()
+	if got := a.Counter("only_b").Value(); got != 1 {
+		t.Fatal("merge aliased a counter from the source registry")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("merging nil registry: %v", err)
+	}
+
+	c := NewRegistry("c")
+	c.Histogram("lat", 1, 10, 1.5)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merging a registry with incompatible histogram geometry succeeded")
+	}
+}
+
+func TestRegistrySnapshotDeterministicAndWriters(t *testing.T) {
+	build := func(order bool) *Registry {
+		r := NewRegistry("x")
+		if order {
+			r.Counter("b").Inc()
+			r.Counter("a").Inc()
+		} else {
+			r.Counter("a").Inc()
+			r.Counter("b").Inc()
+		}
+		r.Gauge("g").Set(1.5)
+		r.LatencyHistogram("h").Observe(2)
+		return r
+	}
+	var s1, s2 strings.Builder
+	if err := build(true).WriteCSV(&s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build(false).WriteCSV(&s2); err != nil {
+		t.Fatal(err)
+	}
+	if s1.String() != s2.String() {
+		t.Fatalf("snapshot depends on registration order:\n%s\nvs\n%s", s1.String(), s2.String())
+	}
+	want := "kind,metric,stat,value\ncounter,a,,1\ncounter,b,,1\ngauge,g,,1.5\n"
+	if !strings.HasPrefix(s1.String(), want) {
+		t.Fatalf("CSV = %q, want prefix %q", s1.String(), want)
+	}
+	var j strings.Builder
+	if err := build(true).WriteJSONL(&j); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(j.String(), `{"kind":"counter","metric":"a","value":1}`) {
+		t.Fatalf("JSONL = %q", j.String())
+	}
+	if !strings.Contains(j.String(), `"stat":"p95"`) {
+		t.Fatalf("JSONL missing histogram stats: %q", j.String())
+	}
+}
+
+func TestTimeSeriesRecordAndWriters(t *testing.T) {
+	ts := NewTimeSeries("s", "x", "y")
+	ts.Record(0, 1, 2)
+	ts.Record(5, 1.5, -3)
+	if ts.Len() != 2 {
+		t.Fatalf("Len = %d", ts.Len())
+	}
+	at, vals := ts.Row(1)
+	if at != 5 || vals[0] != 1.5 || vals[1] != -3 {
+		t.Fatalf("Row(1) = %g %v", at, vals)
+	}
+	var csv strings.Builder
+	if err := ts.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if csv.String() != "time_s,x,y\n0,1,2\n5,1.5,-3\n" {
+		t.Fatalf("CSV = %q", csv.String())
+	}
+	var j strings.Builder
+	if err := ts.WriteJSONL(&j); err != nil {
+		t.Fatal(err)
+	}
+	if j.String() != "{\"time_s\":0,\"x\":1,\"y\":2}\n{\"time_s\":5,\"x\":1.5,\"y\":-3}\n" {
+		t.Fatalf("JSONL = %q", j.String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	ts.Record(10, 1)
+}

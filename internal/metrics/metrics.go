@@ -10,8 +10,15 @@ import (
 
 // Histogram records positive float64 observations in logarithmic buckets,
 // trading a bounded relative error (about 5% per bucket) for O(1) inserts
-// and O(buckets) quantiles. Zero and negative observations land in a
-// dedicated underflow bucket.
+// and O(buckets) quantiles.
+//
+// Underflow semantics: observations below the configured minimum
+// (including zero and negative values) land in a dedicated underflow
+// bucket. They still count toward Count, Mean, Min and Max — those are
+// exact, not bucketed — but inside the underflow bucket they are
+// indistinguishable for quantile queries, so Quantile answers that fall in
+// the underflow region are clamped to the exact observed range
+// [Min(), Max()] rather than reported at a bucket edge.
 type Histogram struct {
 	min     float64 // lower bound of bucket 0
 	growth  float64 // bucket width factor
@@ -20,8 +27,8 @@ type Histogram struct {
 	under   uint64 // observations <= 0 or < min
 	count   uint64
 	sum     float64
-	max     float64
-	minSeen float64
+	max     float64 // largest observation; -Inf until the first Observe
+	minSeen float64 // smallest observation; +Inf until the first Observe
 }
 
 // NewHistogram returns a histogram covering [min, max] with the given
@@ -36,6 +43,7 @@ func NewHistogram(min, max, growth float64) *Histogram {
 		growth:  growth,
 		logG:    math.Log(growth),
 		buckets: make([]uint64, n),
+		max:     math.Inf(-1),
 		minSeen: math.Inf(1),
 	}
 }
@@ -78,13 +86,18 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
-// Max returns the largest observation, or 0 if empty.
+// Max returns the largest observation, or 0 if empty. Unlike the bucketed
+// quantiles it is exact, even when every observation underflowed (all
+// negative observations report a negative max).
 func (h *Histogram) Max() float64 {
 	if h.count == 0 {
 		return 0
 	}
 	return h.max
 }
+
+// Sum returns the exact total of all observations, including underflows.
+func (h *Histogram) Sum() float64 { return h.sum }
 
 // Min returns the smallest observation, or 0 if empty.
 func (h *Histogram) Min() float64 {
@@ -95,8 +108,11 @@ func (h *Histogram) Min() float64 {
 }
 
 // Quantile returns an estimate of the q-quantile (q in [0,1]) with the
-// histogram's relative bucket error. It returns 0 for an empty histogram
-// and panics on q outside [0,1].
+// histogram's relative bucket error. The estimate is clamped to the exact
+// observed range [Min(), Max()], so it can never exceed the largest
+// observation (a bucket upper edge otherwise could) or undercut the
+// smallest. It returns 0 for an empty histogram and panics on q outside
+// [0,1].
 func (h *Histogram) Quantile(q float64) float64 {
 	if q < 0 || q > 1 {
 		panic(fmt.Sprintf("metrics: quantile %g outside [0,1]", q))
@@ -108,18 +124,61 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if target == 0 {
 		target = 1
 	}
+	v := h.max
 	seen := h.under
 	if seen >= target {
-		return h.min
-	}
-	for i, c := range h.buckets {
-		seen += c
-		if seen >= target {
-			// Upper edge of the bucket: a conservative estimate.
-			return h.min * math.Pow(h.growth, float64(i+1))
+		// The quantile falls among underflowed observations; h.min is the
+		// underflow bucket's upper edge, the same conservative estimate the
+		// regular buckets report.
+		v = h.min
+	} else {
+		for i, c := range h.buckets {
+			seen += c
+			if seen >= target {
+				// Upper edge of the bucket: a conservative estimate.
+				v = h.min * math.Pow(h.growth, float64(i+1))
+				break
+			}
 		}
 	}
-	return h.max
+	if v > h.max {
+		v = h.max
+	}
+	if v < h.minSeen {
+		v = h.minSeen
+	}
+	return v
+}
+
+// Compatible reports whether o shares this histogram's bucket geometry,
+// the precondition for Merge.
+func (h *Histogram) Compatible(o *Histogram) bool {
+	return o != nil && h.min == o.min && h.growth == o.growth && len(h.buckets) == len(o.buckets)
+}
+
+// Merge folds o's observations into h, as if every Observe call on o had
+// been made on h instead. Bucket counts merge exactly; Sum (and therefore
+// Mean) is a float64 accumulation, so merging in a different order can
+// move the last few ulps — callers that need byte-stable output must merge
+// in a deterministic order. o is left untouched. Merging histograms with
+// different bucket geometry is an error.
+func (h *Histogram) Merge(o *Histogram) error {
+	if !h.Compatible(o) {
+		return fmt.Errorf("metrics: merging incompatible histograms")
+	}
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	h.under += o.under
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+	if o.minSeen < h.minSeen {
+		h.minSeen = o.minSeen
+	}
+	return nil
 }
 
 // Summary computes running mean and variance with Welford's algorithm —
@@ -175,3 +234,31 @@ func (s *Summary) Max() float64 { return s.max }
 
 // Sum returns n·mean, the exact total of all observations up to rounding.
 func (s *Summary) Sum() float64 { return s.mean * float64(s.n) }
+
+// Merge folds o's observations into s using the parallel form of
+// Welford's update (Chan et al.), so independently accumulated summaries
+// — one per worker, one per device — combine without shared state. The
+// merged mean and variance match a single-pass accumulation up to
+// floating-point rounding; merge in a deterministic order when byte-stable
+// output matters. o is left untouched.
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	na, nb := float64(s.n), float64(o.n)
+	delta := o.mean - s.mean
+	n := na + nb
+	s.mean += delta * nb / n
+	s.m2 += o.m2 + delta*delta*na*nb/n
+	s.n += o.n
+}

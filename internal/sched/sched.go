@@ -190,6 +190,33 @@ func (s *Scheduler) Policy() Policy { return s.policy }
 // Stats returns the accumulated statistics.
 func (s *Scheduler) Stats() *Stats { return &s.stats }
 
+// InFlight returns tasks submitted but not yet settled. Zero when the
+// resilience layer is disabled (plain dispatch tracks no task state).
+func (s *Scheduler) InFlight() int { return len(s.inflight) }
+
+// OpenBreakers returns how many per-backend circuit breakers are not in
+// the Closed state right now (Open or HalfOpen), or 0 when the resilience
+// layer is disabled.
+func (s *Scheduler) OpenBreakers() int {
+	n := 0
+	for _, b := range s.breakers {
+		if b.State() != BreakerClosed {
+			n++
+		}
+	}
+	return n
+}
+
+// BreakerOpens returns the total number of breaker trips across all
+// backends so far.
+func (s *Scheduler) BreakerOpens() uint64 {
+	var n uint64
+	for _, b := range s.breakers {
+		n += b.Opens()
+	}
+	return n
+}
+
 // Submit routes one task according to the policy. The outcome lands in
 // Stats (and the outcome hook) when the task's results are back on the
 // device.

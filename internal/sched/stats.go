@@ -22,8 +22,15 @@ type Stats struct {
 	HedgeWins uint64 // hedge attempts that finished first
 	Fallbacks uint64 // attempts rerouted while a breaker was open
 
-	CostUSD      float64
-	EnergyMilliJ float64
+	CostUSD      float64 // spend attributed to completed tasks
+	EnergyMilliJ float64 // device energy attributed to completed tasks
+
+	// Failed tasks still burn money and battery: every attempt the platform
+	// billed before the task was abandoned (sunk retries, timed-out
+	// attempts, the final failing attempt) lands here instead of vanishing.
+	// CostUSD + FailedCostUSD equals what the platforms actually billed.
+	FailedCostUSD      float64
+	FailedEnergyMilliJ float64
 
 	ByPlacement map[model.Placement]uint64
 }
@@ -36,6 +43,8 @@ func (s *Stats) init() {
 func (s *Stats) record(o model.Outcome) {
 	if o.Failed {
 		s.Failed++
+		s.FailedCostUSD += o.CostUSD
+		s.FailedEnergyMilliJ += o.EnergyMilliJ
 		return
 	}
 	s.Completed++
@@ -68,18 +77,30 @@ func (s *Stats) MeanCompletion() float64 { return s.Completion.Mean() }
 // P95Completion returns the 95th-percentile completion time in seconds.
 func (s *Stats) P95Completion() float64 { return s.Completion.Quantile(0.95) }
 
-// CostPerTask returns mean dollars per completed task, or 0 if none.
+// TotalCostUSD returns all money spent, whether the task completed or
+// not. This matches the platforms' billing, which charges per attempt.
+func (s *Stats) TotalCostUSD() float64 { return s.CostUSD + s.FailedCostUSD }
+
+// TotalEnergyMilliJ returns all device energy drained, whether the task
+// completed or not.
+func (s *Stats) TotalEnergyMilliJ() float64 { return s.EnergyMilliJ + s.FailedEnergyMilliJ }
+
+// CostPerTask returns mean dollars per completed task, or 0 if none
+// completed. The numerator includes money sunk into failed tasks — the
+// real price of a successful result under failures, matching platform
+// billing rather than understating it.
 func (s *Stats) CostPerTask() float64 {
 	if s.Completed == 0 {
 		return 0
 	}
-	return s.CostUSD / float64(s.Completed)
+	return s.TotalCostUSD() / float64(s.Completed)
 }
 
-// EnergyPerTaskMilliJ returns mean device energy per completed task.
+// EnergyPerTaskMilliJ returns mean device energy per completed task,
+// including energy drained by failed tasks (see CostPerTask).
 func (s *Stats) EnergyPerTaskMilliJ() float64 {
 	if s.Completed == 0 {
 		return 0
 	}
-	return s.EnergyMilliJ / float64(s.Completed)
+	return s.TotalEnergyMilliJ() / float64(s.Completed)
 }

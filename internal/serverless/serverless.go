@@ -709,3 +709,23 @@ func (p *Platform) RunningSlots() int { return p.slots.InUse() }
 
 // QueuedInvocations returns invocations waiting for a concurrency slot.
 func (p *Platform) QueuedInvocations() int { return p.slots.QueueLen() }
+
+// WarmContainers returns the warm containers pooled across all deployed
+// functions. Summing over the map is order-independent, so the result is
+// deterministic despite map iteration.
+func (p *Platform) WarmContainers() int {
+	total := 0
+	for _, f := range p.functions {
+		total += len(f.warm)
+	}
+	return total
+}
+
+// ColdStartFraction returns cold starts as a fraction of invocations so
+// far, or 0 before the first invocation.
+func (p *Platform) ColdStartFraction() float64 {
+	if p.stats.Invocations == 0 {
+		return 0
+	}
+	return float64(p.stats.ColdStarts) / float64(p.stats.Invocations)
+}

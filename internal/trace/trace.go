@@ -180,12 +180,16 @@ type Summary struct {
 	TotalEnergyMJ  float64
 }
 
-// Summarize aggregates records.
+// Summarize aggregates records. Cost and energy accumulate for every
+// record including failures — failed tasks were still billed for the
+// attempts they made, and the SLO gate must see that spend.
 func Summarize(records []Record) Summary {
 	var s Summary
 	sum := 0.0
 	for _, r := range records {
 		s.Tasks++
+		s.TotalCostUSD += r.CostUSD
+		s.TotalEnergyMJ += r.EnergyMilliJ
 		if r.Failed {
 			s.Failed++
 			continue
@@ -194,8 +198,6 @@ func Summarize(records []Record) Summary {
 			s.Missed++
 		}
 		sum += r.CompletionS()
-		s.TotalCostUSD += r.CostUSD
-		s.TotalEnergyMJ += r.EnergyMilliJ
 	}
 	if n := s.Tasks - s.Failed; n > 0 {
 		s.MeanCompletion = sum / float64(n)

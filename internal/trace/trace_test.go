@@ -117,6 +117,26 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+// TestSummarizeCountsFailedSpend: money and energy sunk into failed tasks
+// must reach the totals — the SLO gate compares spend against budgets, and
+// failed attempts were still billed.
+func TestSummarizeCountsFailedSpend(t *testing.T) {
+	records := []Record{
+		{Submitted: 0, Finished: 10, CostUSD: 1, EnergyMilliJ: 5},
+		{Submitted: 0, Finished: 99, Failed: true, CostUSD: 2, EnergyMilliJ: 7},
+	}
+	s := Summarize(records)
+	if s.TotalCostUSD != 3 {
+		t.Fatalf("TotalCostUSD = %g, want 3 (failed task's $2 dropped)", s.TotalCostUSD)
+	}
+	if s.TotalEnergyMJ != 12 {
+		t.Fatalf("TotalEnergyMJ = %g, want 12 (failed task's energy dropped)", s.TotalEnergyMJ)
+	}
+	if s.MeanCompletion != 10 {
+		t.Fatalf("MeanCompletion = %g, want 10 (failures still excluded from latency)", s.MeanCompletion)
+	}
+}
+
 func TestRecordTaskRoundTrip(t *testing.T) {
 	task := &model.Task{
 		ID: 9, App: "x", InputBytes: 100, OutputBytes: 50,

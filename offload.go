@@ -80,6 +80,14 @@ const (
 // NewSystem builds a System from the configuration.
 func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
 
+// Report is the run summary every consumer reads from the same place: the
+// examples, the CI/CD SLO gate and the offbench tables see the same
+// numbers.
+type Report = core.Report
+
+// Observer samples a live System at a fixed simulated-time interval.
+type Observer = core.Observer
+
 // Fleet simulates many devices against shared remote infrastructure.
 type Fleet = core.Fleet
 
