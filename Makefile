@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt race fuzz ci determinism metrics-golden golden bench bench-full results examples clean
+.PHONY: all build test vet fmt race fuzz ci determinism metrics-golden spans-golden golden bench bench-full results examples clean
 
 all: build vet test
 
@@ -21,13 +21,16 @@ fmt:
 race:
 	$(GO) test -race ./...
 
-# Short fuzzing smoke run over the fault-injector invariants. Longer local
-# sessions: go test -fuzz=FuzzFaultInjector -fuzztime=5m ./internal/fault/
+# Short fuzzing smoke runs over the fault-injector invariants and the span
+# JSONL codec. Longer local sessions:
+#   go test -fuzz=FuzzFaultInjector -fuzztime=5m ./internal/fault/
+#   go test -fuzz=FuzzReadSpansJSONL -fuzztime=5m ./internal/trace/
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzFaultInjector -fuzztime=10s ./internal/fault/
+	$(GO) test -run='^$$' -fuzz=FuzzReadSpansJSONL -fuzztime=10s ./internal/trace/
 
 # Everything CI runs, in order: the gates plus the determinism diffs.
-ci: build vet fmt test race fuzz determinism metrics-golden
+ci: build vet fmt test race fuzz determinism metrics-golden spans-golden
 
 # Prove offbench's stdout is byte-identical serial vs parallel and still
 # matches the committed quick-scale goldens.
@@ -52,15 +55,27 @@ metrics-golden:
 	cmp results/metrics-golden/e1_cell001.csv /tmp/offbench-metrics-serial/e1_cell001.csv
 	cmp results/metrics-golden/e1_registry.csv /tmp/offbench-metrics-serial/e1_registry.csv
 
+# Prove the -spans export is deterministic: serial and parallel runs must
+# produce byte-identical span JSONL and Chrome trace files, and the
+# committed E18 samples must still match.
+spans-golden:
+	$(GO) build -o /tmp/offbench-ci ./cmd/offbench
+	rm -rf /tmp/offbench-spans-serial /tmp/offbench-spans-parallel
+	/tmp/offbench-ci -scale quick -csv -seed 1 -exp E18 -parallel 1 -quiet -spans /tmp/offbench-spans-serial > /dev/null
+	/tmp/offbench-ci -scale quick -csv -seed 1 -exp E18 -parallel 4 -quiet -spans /tmp/offbench-spans-parallel > /dev/null
+	diff -r /tmp/offbench-spans-serial /tmp/offbench-spans-parallel
+	diff -r results/spans-golden /tmp/offbench-spans-serial
+
 # Regenerate the committed quick-scale golden CSVs after an intentional
 # change to experiment output.
 golden:
-	rm -rf results/golden results/metrics-golden
+	rm -rf results/golden results/metrics-golden results/spans-golden
 	$(GO) run ./cmd/offbench -scale quick -csv -seed 1 -quiet -out results/golden > /dev/null
 	$(GO) run ./cmd/offbench -scale quick -csv -seed 1 -exp E1 -quiet -metrics /tmp/offbench-metrics-regen > /dev/null
 	mkdir -p results/metrics-golden
 	cp /tmp/offbench-metrics-regen/e1_cell001.csv /tmp/offbench-metrics-regen/e1_registry.csv results/metrics-golden/
 	rm -rf /tmp/offbench-metrics-regen
+	$(GO) run ./cmd/offbench -scale quick -csv -seed 1 -exp E18 -quiet -spans results/spans-golden > /dev/null
 
 bench:
 	$(GO) test -bench=. -benchmem

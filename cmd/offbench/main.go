@@ -1,4 +1,4 @@
-// Command offbench regenerates the evaluation suite E1–E17 from DESIGN.md
+// Command offbench regenerates the evaluation suite E1–E18 from DESIGN.md
 // and prints each table (aligned text by default, CSV with -csv).
 //
 // Experiments run on a bounded worker pool (-parallel, default NumCPU)
@@ -14,6 +14,7 @@
 //	offbench -scale quick    # the CI-sized scale
 //	offbench -csv            # machine-readable output
 //	offbench -parallel 4     # bound the worker pool
+//	offbench -spans DIR      # export per-cell causal spans (JSONL + Chrome trace)
 //	offbench -list           # print the experiment index
 //
 // offbench exits 0 only when every selected experiment succeeded; any
@@ -50,6 +51,7 @@ func run(args []string, registry []exp.Experiment, stdout, stderr io.Writer) int
 		csvFlag      = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		outFlag      = fs.String("out", "", "also write each table as a CSV file into this directory")
 		metricsFlag  = fs.String("metrics", "", "export sim-time series and merged metrics registries (CSV + JSONL) into this directory")
+		spansFlag    = fs.String("spans", "", "export per-cell causal spans (versioned JSONL + Chrome trace JSON) into this directory")
 		listFlag     = fs.Bool("list", false, "list experiments and exit")
 		seedFlag     = fs.Uint64("seed", 1, "base RNG seed")
 		parallelFlag = fs.Int("parallel", 0, "worker-pool size (0 = NumCPU); output is identical for any value")
@@ -84,7 +86,7 @@ func run(args []string, registry []exp.Experiment, stdout, stderr io.Writer) int
 		return 2
 	}
 
-	for _, dir := range []string{*outFlag, *metricsFlag} {
+	for _, dir := range []string{*outFlag, *metricsFlag, *spansFlag} {
 		if dir == "" {
 			continue
 		}
@@ -97,6 +99,9 @@ func run(args []string, registry []exp.Experiment, stdout, stderr io.Writer) int
 	runner := &exp.Runner{Scale: scale, Parallel: *parallelFlag}
 	if *metricsFlag != "" {
 		runner.ObserveEvery = metricsInterval
+	}
+	if *spansFlag != "" {
+		runner.RecordSpans = true
 	}
 	if !*quietFlag {
 		runner.OnResult = func(res exp.Result) {
@@ -142,6 +147,12 @@ func run(args []string, registry []exp.Experiment, stdout, stderr io.Writer) int
 				return 1
 			}
 		}
+		if *spansFlag != "" {
+			if err := writeSpans(*spansFlag, res); err != nil {
+				fmt.Fprintf(stderr, "offbench: %v\n", err)
+				return 1
+			}
+		}
 	}
 
 	if runErr != nil {
@@ -175,6 +186,34 @@ func writeMetrics(dir string, res exp.Result) error {
 		name := res.Registry.Name() + "_registry"
 		if err := writeBoth(dir, name, res.Registry.WriteCSV, res.Registry.WriteJSONL); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// writeSpans exports one experiment's causal spans: per simulated cell,
+// the versioned span JSONL and its Chrome trace-event rendering.
+// Filenames derive only from cell names and the data is a pure function
+// of the experiment's derived seed, so the directory contents are
+// byte-identical at any -parallel value.
+func writeSpans(dir string, res exp.Result) error {
+	for _, set := range res.Spans {
+		for suffix, write := range map[string]func(io.Writer) error{
+			"_spans.jsonl": set.WriteJSONL,
+			"_trace.json":  set.WriteChromeTrace,
+		} {
+			path := filepath.Join(dir, set.Run+suffix)
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("writing %s: %w", path, err)
+			}
+			if err := write(f); err != nil {
+				f.Close()
+				return fmt.Errorf("writing %s: %w", path, err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("writing %s: %w", path, err)
+			}
 		}
 	}
 	return nil

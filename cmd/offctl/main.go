@@ -10,12 +10,15 @@
 //	offctl partition -app video-transcode      # partition only
 //	offctl templates                           # list built-in templates
 //	offctl export -app report-gen              # dump a template's JSON spec
+//	offctl trace analyze spans.jsonl           # critical-path attribution + waste
+//	offctl trace chrome spans.jsonl out.json   # convert to Chrome trace format
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"offload/internal/callgraph"
@@ -30,6 +33,7 @@ import (
 	"offload/internal/rng"
 	"offload/internal/serverless"
 	"offload/internal/sim"
+	"offload/internal/trace"
 )
 
 func main() {
@@ -47,6 +51,11 @@ func main() {
 	dotFlag := fs.Bool("dot", false, "emit Graphviz DOT (partition/export)")
 
 	switch cmd {
+	case "trace":
+		if err := runTrace(os.Args[2:], os.Stdout); err != nil {
+			fail(err)
+		}
+		return
 	case "templates":
 		for _, name := range callgraph.TemplateNames() {
 			g := callgraph.Templates()[name]
@@ -219,6 +228,82 @@ func simulatePlan(g *callgraph.Graph, seed uint64, runs int, noise float64) erro
 	return nil
 }
 
+// runTrace dispatches the span-analysis subcommands, which read span
+// archives rather than application specs.
+func runTrace(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: offctl trace <analyze|chrome> <spans.jsonl> [out.json]")
+	}
+	switch args[0] {
+	case "analyze":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: offctl trace analyze <spans.jsonl>")
+		}
+		set, err := readSpans(args[1])
+		if err != nil {
+			return err
+		}
+		return traceAnalyze(set, w)
+	case "chrome":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: offctl trace chrome <spans.jsonl> <out.json>")
+		}
+		set, err := readSpans(args[1])
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(args[2])
+		if err != nil {
+			return err
+		}
+		if err := set.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d spans to %s (open in chrome://tracing or ui.perfetto.dev)\n",
+			len(set.Spans), args[2])
+		return nil
+	default:
+		return fmt.Errorf("unknown trace subcommand %q (analyze|chrome)", args[0])
+	}
+}
+
+func readSpans(path string) (*trace.SpanSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadSpansJSONL(f)
+}
+
+// traceAnalyze prints the run-level attribution: where completion time
+// went per phase and placement, and what retries/hedges wasted.
+func traceAnalyze(set *trace.SpanSet, w io.Writer) error {
+	att := trace.Attribute(set)
+	tasks := 0
+	for _, g := range att.Groups {
+		if g.Name == "all" {
+			tasks = g.Tasks
+		}
+	}
+	fmt.Fprintf(w, "run: %s  policy: %s  tasks: %d (%d failed)\n\n",
+		orDash(set.Run), orDash(set.Policy), tasks+att.Failed, att.Failed)
+	fmt.Fprintln(w, att.Table().String())
+	fmt.Fprintln(w, trace.ComputeWaste(set).Table().String())
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
 func loadGraph(app, spec string) (*callgraph.Graph, error) {
 	switch {
 	case app != "" && spec != "":
@@ -249,7 +334,9 @@ commands:
   partition   compute the min-cut device/cloud split
   export      print a built-in template as a JSON spec
   simulate    plan, deploy and execute one run end to end
-  templates   list built-in application templates`)
+  templates   list built-in application templates
+  trace       analyze a span archive (critical-path attribution, waste)
+              or convert it to Chrome trace format`)
 	os.Exit(2)
 }
 

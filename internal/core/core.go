@@ -160,7 +160,8 @@ type System struct {
 	Shifter   *sched.OffPeakShifter // nil unless off-peak shifting is on
 	Recorder  *trace.Recorder
 
-	observer *Observer // nil unless Observe was called
+	observer *Observer           // nil unless Observe was called
+	spanRec  *trace.SpanRecorder // nil unless EnableSpans was called
 	cfg      Config
 }
 
@@ -376,6 +377,32 @@ func (s *System) drain() {
 
 // Stats returns the scheduler's aggregate statistics.
 func (s *System) Stats() *sched.Stats { return s.Scheduler.Stats() }
+
+// Policy returns the configured placement policy name.
+func (s *System) Policy() PolicyName { return s.cfg.Policy }
+
+// EnableSpans attaches a span recorder to the scheduler's causal hook
+// points and returns it. Call before Run. Idempotent: a second call
+// returns the recorder already installed. Span recording is
+// observability only — it adds no events and draws no randomness, so
+// enabling it never changes simulated results (TestSpansAreInert).
+func (s *System) EnableSpans() *trace.SpanRecorder {
+	if s.spanRec == nil {
+		s.spanRec = trace.NewSpanRecorder()
+		s.spanRec.SetMeta("run", string(s.cfg.Policy))
+		s.Scheduler.SetTracer(s.spanRec)
+	}
+	return s.spanRec
+}
+
+// SpanSet returns the causal spans recorded so far, or nil when
+// EnableSpans was never called.
+func (s *System) SpanSet() *trace.SpanSet {
+	if s.spanRec == nil {
+		return nil
+	}
+	return s.spanRec.Set()
+}
 
 // Platform returns the serverless platform, or nil.
 func (s *System) Platform() *serverless.Platform {

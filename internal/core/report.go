@@ -2,6 +2,7 @@ package core
 
 import (
 	"offload/internal/metrics"
+	"offload/internal/trace"
 )
 
 // Report is the run summary every consumer reads from the same place: the
@@ -32,6 +33,21 @@ type Report struct {
 	EnergyPerTaskMilliJ float64
 
 	ColdStartFraction float64 // 0 when no serverless platform is present
+
+	// Phases is the critical-path phase breakdown over all completed
+	// tasks — mean seconds on the critical path and share of total
+	// completion time per phase. Filled only when EnableSpans was called
+	// before the run; empty otherwise, so span-free reports are
+	// unchanged.
+	Phases []PhaseShare
+}
+
+// PhaseShare is one critical-path phase's contribution to completion
+// time across the run.
+type PhaseShare struct {
+	Phase string
+	MeanS float64 // mean critical-path seconds per completed task
+	Share float64 // fraction of total completion time
 }
 
 // TotalCostUSD returns all money spent: per-task billing for completed and
@@ -64,6 +80,19 @@ func (s *System) Report() Report {
 	if p := s.Platform(); p != nil {
 		r.ColdStartFraction = p.ColdStartFraction()
 	}
+	if set := s.SpanSet(); set != nil {
+		if g := trace.Attribute(set).Group("all"); g != nil {
+			for _, phase := range trace.Phases {
+				ps := g.Phase[phase]
+				if ps.MeanS == 0 {
+					continue
+				}
+				r.Phases = append(r.Phases, PhaseShare{
+					Phase: phase, MeanS: ps.MeanS, Share: ps.ShareMean,
+				})
+			}
+		}
+	}
 	return r
 }
 
@@ -87,6 +116,9 @@ func (r Report) Table() *metrics.Table {
 	t.AddRowf("cost per task (USD)", fmtF(r.CostPerTaskUSD))
 	t.AddRowf("energy per task (mJ)", fmtF(r.EnergyPerTaskMilliJ))
 	t.AddRowf("cold-start fraction", fmtF(r.ColdStartFraction))
+	for _, ph := range r.Phases {
+		t.AddRowf("phase "+ph.Phase+" (s)", fmtF(ph.MeanS))
+	}
 	return t
 }
 

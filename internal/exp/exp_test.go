@@ -53,8 +53,8 @@ func num(t *testing.T, cell string) float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 17 {
-		t.Fatalf("registry has %d experiments, want 17", len(reg))
+	if len(reg) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {
@@ -633,6 +633,44 @@ func TestE17Shape(t *testing.T) {
 	}
 	if hedgedTotal == 0 {
 		t.Error("hedged strategy never launched a hedge")
+	}
+}
+
+func TestE18Shape(t *testing.T) {
+	tables, err := E18Attribution(Quick())
+	if err != nil {
+		t.Fatal(err) // E18 fails itself when an attribution check misses
+	}
+	if len(tables) != 3 {
+		t.Fatalf("E18 produced %d tables, want 3", len(tables))
+	}
+	header, data := rows(t, tables[1])
+	ok := col(t, header, "ok")
+	if len(data) != 4 {
+		t.Fatalf("E18 ran %d checks, want 4", len(data))
+	}
+	for _, r := range data {
+		if r[ok] != "yes" {
+			t.Errorf("check %q failed: %v", r[0], r)
+		}
+	}
+	// The phase table must attribute cold starts in the cold cells and
+	// show exec dominating the straggler cell's P95 band.
+	ph, pdata := rows(t, tables[0])
+	cell := col(t, ph, "cell")
+	phase := col(t, ph, "phase")
+	p95 := col(t, ph, "share_p95")
+	seenCold := false
+	for _, r := range pdata {
+		if r[cell] == "baseline" && r[phase] == "cold_start" {
+			seenCold = true
+		}
+		if r[cell] == "stragglers" && r[phase] == "exec" && num(t, r[p95]) < 50 {
+			t.Errorf("stragglers: exec carries only %s of the P95 band", r[p95])
+		}
+	}
+	if !seenCold {
+		t.Error("baseline cell attributed no cold_start time")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"offload/internal/rng"
 	"offload/internal/sched"
 	"offload/internal/sim"
+	"offload/internal/trace"
 	"offload/internal/workload"
 )
 
@@ -35,6 +36,28 @@ func runCellAt(s Scale, cfg core.Config, mix []workload.WeightedTemplate, rate f
 	if err != nil {
 		return runResult{}, err
 	}
+	return driveCell(s, sys, mix, rate, startAt)
+}
+
+// runCellSpans is runCell with causal span recording enabled on the cell
+// (used by E18, which needs spans regardless of the Runner's settings).
+// The run name labels the exported span set.
+func runCellSpans(s Scale, name string, cfg core.Config, mix []workload.WeightedTemplate, rate float64) (runResult, *trace.SpanSet, error) {
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return runResult{}, nil, err
+	}
+	sys.EnableSpans().SetMeta(name, string(cfg.Policy))
+	res, err := driveCell(s, sys, mix, rate, 0)
+	if err != nil {
+		return runResult{}, nil, err
+	}
+	return res, sys.SpanSet(), nil
+}
+
+// driveCell streams s.Tasks tasks of the mix into a built system, runs it
+// to completion, and returns the aggregate.
+func driveCell(s Scale, sys *core.System, mix []workload.WeightedTemplate, rate float64, startAt sim.Time) (runResult, error) {
 	var obs *core.Observer
 	if s.Obs != nil {
 		obs = s.Obs.attach(sys)

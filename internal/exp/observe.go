@@ -7,13 +7,15 @@ import (
 	"offload/internal/core"
 	"offload/internal/metrics"
 	"offload/internal/sim"
+	"offload/internal/trace"
 )
 
-// Observation collects sim-time samples and end-of-run metrics across the
-// cells of one experiment. Cells within an experiment run sequentially, so
-// series append and registries merge in a fixed order — the resulting
-// export is byte-identical at any Runner parallelism, since workers only
-// decide when an experiment runs, never the order of its cells.
+// Observation collects sim-time samples, end-of-run metrics, and
+// (optionally) causal spans across the cells of one experiment. Cells
+// within an experiment run sequentially, so series append, registries
+// merge and span sets stack in a fixed order — the resulting export is
+// byte-identical at any Runner parallelism, since workers only decide
+// when an experiment runs, never the order of its cells.
 //
 // Observation is observability only: attaching one never changes table
 // cells (sampling is read-only and draws no randomness).
@@ -21,15 +23,18 @@ type Observation struct {
 	every    sim.Duration
 	expID    string
 	cells    int
+	spans    bool
 	series   []*metrics.TimeSeries
 	registry *metrics.Registry
+	spanSets []*trace.SpanSet
 }
 
-// NewObservation returns a collector sampling every interval of simulated
-// time for the experiment with the given ID.
+// NewObservation returns a collector for the experiment with the given
+// ID. A positive interval samples a time series every interval of
+// simulated time; zero disables time sampling (span-only collection).
 func NewObservation(expID string, every sim.Duration) *Observation {
-	if every <= 0 {
-		panic("exp: observation interval must be positive")
+	if every < 0 {
+		panic("exp: observation interval must not be negative")
 	}
 	return &Observation{
 		every:    every,
@@ -38,17 +43,33 @@ func NewObservation(expID string, every sim.Duration) *Observation {
 	}
 }
 
-// attach starts sampling a freshly built cell. Call before System.Run.
+// EnableSpans makes every subsequently attached cell record causal spans
+// (see core.System.EnableSpans).
+func (o *Observation) EnableSpans() { o.spans = true }
+
+// attach starts observing a freshly built cell. Call before System.Run.
+// Returns nil when time sampling is disabled.
 func (o *Observation) attach(sys *core.System) *core.Observer {
 	o.cells++
 	name := fmt.Sprintf("%s_cell%03d", strings.ToLower(o.expID), o.cells)
+	if o.spans {
+		sys.EnableSpans().SetMeta(name, string(sys.Policy()))
+	}
+	if o.every <= 0 {
+		return nil
+	}
 	return sys.Observe(name, o.every)
 }
 
-// collect banks a finished cell: its time series verbatim and its
-// end-of-run registry merged into the experiment-wide aggregate.
+// collect banks a finished cell: its time series verbatim, its span set,
+// and its end-of-run registry merged into the experiment-wide aggregate.
 func (o *Observation) collect(obs *core.Observer, sys *core.System) error {
-	o.series = append(o.series, obs.Series())
+	if obs != nil {
+		o.series = append(o.series, obs.Series())
+	}
+	if set := sys.SpanSet(); set != nil {
+		o.spanSets = append(o.spanSets, set)
+	}
 	return o.registry.Merge(sys.Registry(o.registry.Name()))
 }
 
@@ -57,3 +78,7 @@ func (o *Observation) Series() []*metrics.TimeSeries { return o.series }
 
 // Registry returns the merged end-of-run metrics across all cells.
 func (o *Observation) Registry() *metrics.Registry { return o.registry }
+
+// SpanSets returns one span set per cell, in cell order; empty unless
+// EnableSpans was called before the cells ran.
+func (o *Observation) SpanSets() []*trace.SpanSet { return o.spanSets }

@@ -11,6 +11,7 @@ import (
 	"offload/internal/metrics"
 	"offload/internal/rng"
 	"offload/internal/sim"
+	"offload/internal/trace"
 )
 
 // Result is the outcome of one experiment executed by a Runner.
@@ -40,6 +41,12 @@ type Result struct {
 	// at any Parallel value.
 	Series   []*metrics.TimeSeries
 	Registry *metrics.Registry
+
+	// Spans carries one causal span set per simulated cell when the
+	// Runner's RecordSpans is set; nil otherwise. Like Series, a pure
+	// function of the derived seed — byte-identical at any Parallel
+	// value.
+	Spans []*trace.SpanSet
 }
 
 // Runner executes a set of experiments on a bounded worker pool with
@@ -66,6 +73,10 @@ type Runner struct {
 	// simulated cell (see Observation) and fills each Result's Series and
 	// Registry. Zero disables observation.
 	ObserveEvery sim.Duration
+	// RecordSpans, when set, records causal spans in every simulated cell
+	// and fills each Result's Spans. Observability only: table cells are
+	// unchanged (TestSpansAreInert).
+	RecordSpans bool
 }
 
 // Run executes exps and returns one Result per experiment, in input
@@ -153,8 +164,11 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment) ([]Result, error) {
 func (r *Runner) runOne(e Experiment) (res Result) {
 	s := r.Scale
 	s.Seed = rng.Derive(r.Scale.Seed, uint64(e.Seq))
-	if r.ObserveEvery > 0 {
+	if r.ObserveEvery > 0 || r.RecordSpans {
 		s.Obs = NewObservation(e.ID, r.ObserveEvery)
+		if r.RecordSpans {
+			s.Obs.EnableSpans()
+		}
 	}
 	res = Result{ID: e.ID, Claim: e.Claim, Seed: s.Seed}
 
@@ -181,8 +195,11 @@ func (r *Runner) runOne(e Experiment) (res Result) {
 	}
 	res.Tables = tables
 	if s.Obs != nil {
-		res.Series = s.Obs.Series()
-		res.Registry = s.Obs.Registry()
+		if r.ObserveEvery > 0 {
+			res.Series = s.Obs.Series()
+			res.Registry = s.Obs.Registry()
+		}
+		res.Spans = s.Obs.SpanSets()
 	}
 	return res
 }

@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// suiteTables renders every experiment's tables at quick scale under the
+// given runner settings, keyed by experiment ID.
+func suiteTables(t *testing.T, spans bool, parallel int) (map[string]string, []Result) {
+	t.Helper()
+	r := &Runner{Scale: Quick(), Parallel: parallel, RecordSpans: spans}
+	results, err := r.Run(context.Background(), Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string, len(results))
+	for _, res := range results {
+		var buf bytes.Buffer
+		for _, tbl := range res.Tables {
+			buf.WriteString(tbl.CSV())
+		}
+		out[res.ID] = buf.String()
+	}
+	return out, results
+}
+
+// TestSpansAreInertAcrossSuite: recording spans must leave every
+// experiment's tables byte-identical — the suite-wide guarantee that
+// observability never perturbs results.
+func TestSpansAreInertAcrossSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full suite twice")
+	}
+	plain, _ := suiteTables(t, false, 4)
+	traced, results := suiteTables(t, true, 4)
+	for id, want := range plain {
+		if got := traced[id]; got != want {
+			t.Errorf("%s: tables differ with spans enabled", id)
+		}
+	}
+	sawSpans := false
+	for _, res := range results {
+		if len(res.Spans) > 0 {
+			sawSpans = true
+		}
+	}
+	if !sawSpans {
+		t.Fatal("RecordSpans produced no span sets")
+	}
+}
+
+// TestSpansDeterministicAcrossParallel: the span export must be
+// byte-identical at any worker count — cells run sequentially inside an
+// experiment, and seeds derive from registry position, so parallelism
+// only reorders completion, never content.
+func TestSpansDeterministicAcrossParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the suite twice")
+	}
+	render := func(parallel int) map[string]string {
+		r := &Runner{Scale: Quick(), Parallel: parallel, RecordSpans: true}
+		results, err := r.Run(context.Background(), Registry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]string, len(results))
+		for _, res := range results {
+			var buf bytes.Buffer
+			for _, set := range res.Spans {
+				if err := set.WriteJSONL(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if err := set.WriteChromeTrace(&buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+			out[res.ID] = buf.String()
+		}
+		return out
+	}
+	serial := render(1)
+	parallel := render(8)
+	for id, want := range serial {
+		if got := parallel[id]; got != want {
+			t.Errorf("%s: span export differs between -parallel 1 and 8", id)
+		}
+	}
+}

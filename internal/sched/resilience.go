@@ -5,6 +5,7 @@ import (
 
 	"offload/internal/model"
 	"offload/internal/sim"
+	"offload/internal/trace"
 )
 
 // ErrAttemptTimeout is reported when the resilience layer abandons an
@@ -157,6 +158,21 @@ type Breaker struct {
 	probing   bool // a half-open probe is in flight
 	openedAt  sim.Time
 	opens     uint64
+
+	// notify, when set, observes every state transition. Purely
+	// observational: the breaker's decisions do not depend on it.
+	notify func(from, to BreakerState)
+}
+
+// OnTransition registers an observer for state transitions.
+func (b *Breaker) OnTransition(fn func(from, to BreakerState)) { b.notify = fn }
+
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	b.state = to
+	if b.notify != nil && from != to {
+		b.notify(from, to)
+	}
 }
 
 // NewBreaker returns a breaker in the Closed state.
@@ -183,7 +199,7 @@ func (b *Breaker) Allow(now sim.Time) bool {
 		if now.Sub(b.openedAt) < b.cfg.OpenFor {
 			return false
 		}
-		b.state = BreakerHalfOpen
+		b.transition(BreakerHalfOpen)
 		b.successes = 0
 		b.probing = true
 		return true
@@ -207,7 +223,7 @@ func (b *Breaker) OnSuccess() {
 		b.probing = false
 		b.successes++
 		if b.successes >= b.cfg.halfOpenTarget() {
-			b.state = BreakerClosed
+			b.transition(BreakerClosed)
 			b.failures = 0
 		}
 	}
@@ -230,7 +246,7 @@ func (b *Breaker) OnFailure(now sim.Time) {
 }
 
 func (b *Breaker) trip(now sim.Time) {
-	b.state = BreakerOpen
+	b.transition(BreakerOpen)
 	b.openedAt = now
 	b.failures = 0
 	b.successes = 0
@@ -263,6 +279,7 @@ type attempt struct {
 	abandoned bool // per-attempt timeout fired
 	launched  sim.Time
 	timeoutEv *sim.Event
+	traceID   uint64 // span handle when a tracer is attached
 }
 
 // resilientDispatch is Dispatch when the resilience layer is on.
@@ -288,6 +305,11 @@ func (s *Scheduler) breakerFor(p model.Placement) *Breaker {
 	if err != nil {
 		panic(err) // config validated in New
 	}
+	b.OnTransition(func(from, to BreakerState) {
+		if s.tr != nil {
+			s.tr.BreakerTransition(p, from.String(), to.String(), s.env.Eng.Now())
+		}
+	})
 	s.breakers[p] = b
 	return b
 }
@@ -301,6 +323,9 @@ func (s *Scheduler) launchAttempt(st *taskState, isHedge bool) {
 		s.stats.Fallbacks++
 	}
 	a := &attempt{st: st, placement: target, isHedge: isHedge, launched: s.env.Eng.Now()}
+	if s.tr != nil {
+		a.traceID = s.tr.AttemptStart(st.task, target, isHedge, a.launched)
+	}
 	st.inFlight++
 	if isHedge {
 		st.hedges++
@@ -362,12 +387,16 @@ func (s *Scheduler) onAttemptTimeout(a *attempt) {
 	if br := s.breakerFor(a.placement); br != nil {
 		br.OnFailure(now)
 	}
-	s.handleAttemptFailure(st, model.Outcome{
+	abandoned := model.Outcome{
 		Task: st.task, Placement: a.placement,
 		Started: st.task.Submitted, Finished: now,
 		Exec:   model.ExecReport{Start: a.launched, End: now, Err: ErrAttemptTimeout},
 		Failed: true,
-	})
+	}
+	if s.tr != nil {
+		s.tr.AttemptEnd(a.traceID, abandoned, trace.StatusTimeout, now)
+	}
+	s.handleAttemptFailure(st, abandoned)
 	s.settleIfDrained(st)
 }
 
@@ -386,6 +415,9 @@ func (s *Scheduler) onAttemptDone(a *attempt, o model.Outcome) {
 		// attempt cost. No breaker feedback: the timeout already reported.
 		s.sunkUSD[st.task.ID] += o.CostUSD
 		s.sunkMJ[st.task.ID] += o.EnergyMilliJ
+		if s.tr != nil {
+			s.tr.AttemptCost(a.traceID, o.CostUSD)
+		}
 	case st.settled || st.failed:
 		// The task was decided while this attempt was in flight (a losing
 		// hedge, or a late attempt after a terminal failure). Its cost
@@ -393,6 +425,13 @@ func (s *Scheduler) onAttemptDone(a *attempt, o model.Outcome) {
 		s.sunkUSD[st.task.ID] += o.CostUSD
 		s.sunkMJ[st.task.ID] += o.EnergyMilliJ
 		s.breakerFeedback(br, o)
+		if s.tr != nil {
+			status := trace.StatusLose
+			if o.Failed {
+				status = trace.StatusFailed
+			}
+			s.tr.AttemptEnd(a.traceID, o, status, s.env.Eng.Now())
+		}
 	case !o.Failed:
 		if br != nil {
 			br.OnSuccess()
@@ -403,10 +442,20 @@ func (s *Scheduler) onAttemptDone(a *attempt, o model.Outcome) {
 		if a.isHedge {
 			s.stats.HedgeWins++
 		}
+		if s.tr != nil {
+			s.tr.AttemptEnd(a.traceID, o, trace.StatusWin, s.env.Eng.Now())
+		}
 		st.settled = true
 		st.winner = o
 	default:
 		s.breakerFeedback(br, o)
+		if s.tr != nil {
+			status := trace.StatusFailed
+			if s.shouldRetryErr(st.task, o.Exec.Err) {
+				status = trace.StatusRetry
+			}
+			s.tr.AttemptEnd(a.traceID, o, status, s.env.Eng.Now())
+		}
 		s.handleAttemptFailure(st, o)
 	}
 	s.settleIfDrained(st)
@@ -469,6 +518,9 @@ func (s *Scheduler) settleIfDrained(st *taskState) {
 	if st.hedgeEv != nil {
 		s.env.Eng.Cancel(st.hedgeEv)
 		st.hedgeEv = nil
+		if s.tr != nil {
+			s.tr.HedgeCanceled(st.task.ID, s.env.Eng.Now())
+		}
 	}
 	delete(s.inflight, st.task.ID)
 	if st.settled {

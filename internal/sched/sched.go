@@ -17,6 +17,7 @@ import (
 	"offload/internal/network"
 	"offload/internal/rng"
 	"offload/internal/sim"
+	"offload/internal/trace"
 )
 
 // Env bundles the substrates available to a scheduler. Device is
@@ -101,6 +102,12 @@ type Scheduler struct {
 	inflight   map[model.TaskID]*taskState
 	breakers   map[model.Placement]*Breaker
 	attemptLat *metrics.Histogram
+
+	// tr receives causal hook points (attempt lifecycle, breaker
+	// transitions, hedge cancels, task settlement) when span tracing is
+	// enabled. Tracers are passive: they record, never steer — dispatch
+	// takes the same decisions with or without one.
+	tr trace.Tracer
 }
 
 // RetryPolicy re-dispatches tasks that failed with a transient
@@ -142,6 +149,20 @@ func WithRNG(src *rng.Source) Option {
 func WithResilience(r Resilience) Option {
 	return func(s *Scheduler) { s.res = &r }
 }
+
+// WithTracer attaches a span tracer to the scheduler. Equivalent to
+// calling SetTracer before the first Submit.
+func WithTracer(t trace.Tracer) Option {
+	return func(s *Scheduler) { s.tr = t }
+}
+
+// SetTracer attaches (or detaches, with nil) the tracer receiving the
+// scheduler's causal hook points. Call before the first Submit: attempts
+// already in flight keep reporting to the tracer they started with.
+func (s *Scheduler) SetTracer(t trace.Tracer) { s.tr = t }
+
+// Tracer returns the attached tracer, or nil.
+func (s *Scheduler) Tracer() trace.Tracer { return s.tr }
 
 // WithLocalDVFS makes local executions of deadline-carrying tasks run at
 // the slowest frequency that still meets the deadline (floored at
@@ -239,7 +260,28 @@ func (s *Scheduler) Dispatch(task *model.Task, placement model.Placement) {
 		s.resilientDispatch(task, placement)
 		return
 	}
-	s.dispatchTo(task, placement, s.finish)
+	if s.tr == nil {
+		s.dispatchTo(task, placement, s.finish)
+		return
+	}
+	aid := s.tr.AttemptStart(task, placement, false, s.env.Eng.Now())
+	s.dispatchTo(task, placement, func(o model.Outcome) {
+		s.tr.AttemptEnd(aid, o, s.plainStatus(o), s.env.Eng.Now())
+		s.finish(o)
+	})
+}
+
+// plainStatus classifies a non-resilient attempt's ending the same way
+// finish is about to: a failure either consumes a retry or is terminal.
+func (s *Scheduler) plainStatus(o model.Outcome) string {
+	switch {
+	case !o.Failed:
+		return trace.StatusWin
+	case s.shouldRetry(o):
+		return trace.StatusRetry
+	default:
+		return trace.StatusFailed
+	}
 }
 
 // dispatchTo runs one attempt of the task at the placement and reports
@@ -396,6 +438,9 @@ func (s *Scheduler) finish(o model.Outcome) {
 		s.pred.Observe(o.Task, o.Task.Cycles)
 	}
 	s.stats.record(o)
+	if s.tr != nil {
+		s.tr.TaskDone(o, s.env.Eng.Now())
+	}
 	if s.onDone != nil {
 		s.onDone(o)
 	}

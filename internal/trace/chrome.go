@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: the JSON object format understood by
+// chrome://tracing and Perfetto. Each backend becomes one process (pid);
+// inside a backend, overlapping spans are packed onto the fewest lanes
+// that keep each lane overlap-free, and each lane becomes one thread
+// (tid) — the visual analogue of containers/cores in use. Task roots and
+// gap spans land on a synthetic "tasks" process so end-to-end bars sit
+// above the per-backend detail. Zero-width spans (breaker transitions,
+// hedge cancels) export as instant events.
+
+// chromeEvent is one trace event. Field order is fixed by the struct, so
+// marshalling is deterministic.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TsUS  float64        `json:"ts"`
+	DurUS float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// tasksTrack is the pid of the synthetic process holding task root and
+// gap spans; backend processes count up from it.
+const tasksTrack = 1
+
+// WriteChromeTrace writes the set in Chrome trace-event format.
+func (s *SpanSet) WriteChromeTrace(w io.Writer) error {
+	// Deterministic pid assignment: the synthetic tasks track first, then
+	// backends in first-appearance order (creation order is already a pure
+	// function of the simulation).
+	pidOf := map[string]int{"tasks": tasksTrack}
+	var backends []string
+	for _, sp := range s.Spans {
+		if sp.Backend == "" {
+			continue
+		}
+		if _, ok := pidOf[sp.Backend]; !ok {
+			pidOf[sp.Backend] = tasksTrack + 1 + len(backends)
+			backends = append(backends, sp.Backend)
+		}
+	}
+
+	var events []chromeEvent
+	events = append(events, metaEvent(tasksTrack, "tasks"))
+	for _, b := range backends {
+		events = append(events, metaEvent(pidOf[b], "backend: "+b))
+	}
+
+	// Lane-pack per pid: spans sorted by (start, id); each span takes the
+	// first lane free at its start time.
+	type laneKey struct{ pid int }
+	order := make([]int, len(s.Spans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := s.Spans[order[a]], s.Spans[order[b]]
+		if sa.Start != sb.Start {
+			return sa.Start < sb.Start
+		}
+		return sa.ID < sb.ID
+	})
+	laneEnds := make(map[laneKey][]float64)
+	for _, i := range order {
+		sp := s.Spans[i]
+		pid := tasksTrack
+		if sp.Backend != "" {
+			pid = pidOf[sp.Backend]
+		}
+		key := laneKey{pid}
+		lanes := laneEnds[key]
+		tid := -1
+		for l, end := range lanes {
+			if end <= sp.Start {
+				tid = l
+				break
+			}
+		}
+		if tid < 0 {
+			tid = len(lanes)
+			laneEnds[key] = append(lanes, sp.End)
+		} else {
+			laneEnds[key][tid] = sp.End
+		}
+		events = append(events, spanEvent(sp, pid, tid+1))
+	}
+
+	// Chrome requires per-track monotonic timestamps; a global (ts, pid,
+	// tid) sort gives that and keeps the byte stream deterministic.
+	body := events[1+len(backends):]
+	sort.SliceStable(body, func(a, b int) bool {
+		if body[a].TsUS != body[b].TsUS {
+			return body[a].TsUS < body[b].TsUS
+		}
+		if body[a].PID != body[b].PID {
+			return body[a].PID < body[b].PID
+		}
+		return body[a].TID < body[b].TID
+	})
+
+	data, err := json.Marshal(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+	if err != nil {
+		return fmt.Errorf("trace: encoding chrome trace: %w", err)
+	}
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("trace: writing chrome trace: %w", err)
+	}
+	return nil
+}
+
+func metaEvent(pid int, name string) chromeEvent {
+	return chromeEvent{
+		Name: "process_name", Phase: "M", PID: pid, TID: 0,
+		Args: map[string]any{"name": name},
+	}
+}
+
+func spanEvent(sp Span, pid, tid int) chromeEvent {
+	args := map[string]any{"trace": sp.Trace, "span": sp.ID}
+	if sp.Attempt > 0 {
+		args["attempt"] = sp.Attempt
+	}
+	if sp.Hedge {
+		args["hedge"] = true
+	}
+	if sp.Status != "" {
+		args["status"] = sp.Status
+	}
+	if sp.Fault != "" {
+		args["fault"] = sp.Fault
+	}
+	if sp.CostUSD != 0 {
+		args["cost_usd"] = sp.CostUSD
+	}
+	name := sp.Name
+	if sp.Name == SpanTask || sp.Name == SpanAttempt {
+		name = fmt.Sprintf("%s %d", sp.Name, sp.Trace)
+	}
+	ev := chromeEvent{
+		Name: name, Cat: sp.Name, Phase: "X",
+		TsUS: sp.Start * 1e6, DurUS: sp.DurationS() * 1e6,
+		PID: pid, TID: tid, Args: args,
+	}
+	if sp.DurationS() == 0 {
+		ev.Phase = "i"
+		ev.DurUS = 0
+		ev.Scope = "t"
+	}
+	return ev
+}

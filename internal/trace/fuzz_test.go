@@ -43,3 +43,56 @@ func FuzzReadJSONL(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadSpansJSONL checks the span codec never panics, rejects spans
+// the validator forbids, and that accepted streams survive a write→read
+// round trip span-for-span.
+func FuzzReadSpansJSONL(f *testing.F) {
+	rec := NewSpanRecorder()
+	rec.SetMeta("fuzz", "cloud-all")
+	driveRetryHedge(rec)
+	var buf bytes.Buffer
+	if err := rec.Set().WriteJSONL(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add(`{"format":"offload-spans","version":1}`)
+	f.Add(`{"format":"offload-spans","version":2}`)
+	f.Add(`{"format":"offload-spans","version":1}` + "\n" + `{"id":1,"name":"task","start_s":3,"end_s":1}`)
+	f.Add(`{"format":"offload-spans","version":1}` + "\n{bad")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		set, err := ReadSpansJSONL(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for i, sp := range set.Spans {
+			if sp.End < sp.Start || sp.Name == "" {
+				t.Fatalf("validator let span %d through: %+v", i, sp)
+			}
+		}
+		var round bytes.Buffer
+		if err := set.WriteJSONL(&round); err != nil {
+			t.Fatalf("accepted set does not re-encode: %v", err)
+		}
+		back, err := ReadSpansJSONL(&round)
+		if err != nil {
+			t.Fatalf("re-encoded set does not re-parse: %v", err)
+		}
+		if back.Run != set.Run || back.Policy != set.Policy || len(back.Spans) != len(set.Spans) {
+			t.Fatalf("round trip changed the set: %d vs %d spans", len(back.Spans), len(set.Spans))
+		}
+		for i := range set.Spans {
+			if back.Spans[i] != set.Spans[i] {
+				t.Fatalf("round trip mutated span %d:\nin  %+v\nout %+v", i, set.Spans[i], back.Spans[i])
+			}
+		}
+		// Any accepted set must also export as valid, deterministic Chrome
+		// JSON without panicking.
+		var chrome bytes.Buffer
+		if err := set.WriteChromeTrace(&chrome); err != nil {
+			t.Fatalf("accepted set does not export to chrome format: %v", err)
+		}
+	})
+}

@@ -1,0 +1,342 @@
+package trace
+
+import (
+	"math"
+
+	"offload/internal/model"
+	"offload/internal/sim"
+)
+
+// Span names. A task trace is a tree: one root "task" span, one "attempt"
+// span per dispatch (retries and hedges included), and phase spans under
+// each attempt reconstructing where the attempt's wall time went. Gap
+// spans ("submit", "backoff") hang off the root and cover the intervals
+// no attempt was in flight. Zero-width event spans ("breaker",
+// "hedge_cancel") mark control-plane transitions.
+const (
+	SpanTask    = "task"
+	SpanAttempt = "attempt"
+
+	PhaseSubmit    = "submit"     // decided but no attempt launched yet (batching, shifting)
+	PhaseUplink    = "uplink"     // input bytes in flight to the execution site
+	PhaseQueue     = "queue"      // waiting for a free unit at the substrate
+	PhaseColdStart = "cold_start" // environment provisioning
+	PhaseExec      = "exec"       // computation
+	PhaseDownlink  = "downlink"   // output bytes returning to the device
+	PhaseBackoff   = "backoff"    // between attempts: retry backoff / breaker wait
+	PhaseOther     = "other"      // attempt time the outcome could not decompose
+
+	EventBreaker     = "breaker"      // Status carries "from>to"
+	EventHedgeCancel = "hedge_cancel" // armed hedge timer cancelled unfired
+)
+
+// Attempt statuses: how one dispatch of a task ended.
+const (
+	StatusWin     = "win"     // this attempt's result settled the task
+	StatusLose    = "lose"    // completed fine, but the task was already decided
+	StatusRetry   = "retry"   // transient failure, re-dispatched
+	StatusFailed  = "failed"  // terminal failure
+	StatusTimeout = "timeout" // abandoned by the per-attempt timeout
+)
+
+// Task root statuses.
+const (
+	StatusOK     = "ok"
+	StatusMissed = "missed"
+)
+
+// Fault classifications recorded on failed attempt spans.
+const (
+	FaultTransient = "transient"
+	FaultFatal     = "fatal"
+)
+
+// Span is one node of a task's causal trace, flattened for serialisation.
+// Times are simulated seconds. Spans are comparable, so tests and the
+// fuzz round trip can use ==.
+type Span struct {
+	ID     uint64 `json:"id"`
+	Trace  uint64 `json:"trace,omitempty"`  // task ID; 0 for run-scoped events
+	Parent uint64 `json:"parent,omitempty"` // 0 for roots and run-scoped events
+
+	Name    string  `json:"name"`
+	Backend string  `json:"backend,omitempty"` // placement the span ran against
+	Start   float64 `json:"start_s"`
+	End     float64 `json:"end_s"`
+
+	Attempt int    `json:"attempt,omitempty"` // 1-based dispatch number within the task
+	Hedge   bool   `json:"hedge,omitempty"`
+	Status  string `json:"status,omitempty"`
+	Fault   string `json:"fault,omitempty"`
+
+	CostUSD float64 `json:"cost_usd,omitempty"`
+}
+
+// DurationS returns the span's width in simulated seconds.
+func (s Span) DurationS() float64 { return s.End - s.Start }
+
+// Tracer receives the scheduler's causal hook points. Implementations
+// must be passive: they may record, but must not schedule events, draw
+// randomness, or mutate tasks — attaching a tracer never changes
+// simulated results (TestSpansAreInert enforces this).
+//
+// AttemptStart returns an attempt handle that the scheduler threads back
+// into AttemptEnd / AttemptCost, so overlapping attempts of one task
+// (hedges) stay distinguishable.
+type Tracer interface {
+	// AttemptStart marks one dispatch of the task at the placement.
+	AttemptStart(task *model.Task, placement model.Placement, hedge bool, at sim.Time) uint64
+	// AttemptEnd closes the attempt with its outcome and status (one of
+	// the Status* constants).
+	AttemptEnd(id uint64, o model.Outcome, status string, at sim.Time)
+	// AttemptCost folds money billed by an attempt after it was already
+	// closed (a timed-out attempt's zombie completion).
+	AttemptCost(id uint64, costUSD float64)
+	// BreakerTransition records a circuit-breaker state change on a
+	// backend; states arrive as strings ("closed", "open", "half-open").
+	BreakerTransition(placement model.Placement, from, to string, at sim.Time)
+	// HedgeCanceled records an armed hedge timer dismissed unfired.
+	HedgeCanceled(task model.TaskID, at sim.Time)
+	// TaskDone records the task's settled end-to-end outcome.
+	TaskDone(o model.Outcome, at sim.Time)
+}
+
+// SpanRecorder assembles Spans from the scheduler's Tracer hook points.
+// It reconstructs per-attempt phase spans from each attempt's outcome and
+// synthesizes the submit/backoff gaps when the task settles. IDs are
+// assigned in event order, so a recorder driven by a deterministic
+// simulation produces byte-identical output every run.
+type SpanRecorder struct {
+	run    string
+	policy string
+
+	spans  []Span
+	nextID uint64
+
+	byID     map[uint64]int      // attempt span id → index in spans
+	roots    map[uint64]uint64   // trace → reserved root span id
+	attempts map[uint64]int      // trace → attempts started so far
+	byTrace  map[uint64][]uint64 // trace → attempt span ids, start order
+}
+
+// NewSpanRecorder returns an empty recorder.
+func NewSpanRecorder() *SpanRecorder {
+	return &SpanRecorder{
+		byID:     make(map[uint64]int),
+		roots:    make(map[uint64]uint64),
+		attempts: make(map[uint64]int),
+		byTrace:  make(map[uint64][]uint64),
+	}
+}
+
+// SetMeta names the run (e.g. the experiment cell) and the policy that
+// produced it; both land in the export header.
+func (r *SpanRecorder) SetMeta(run, policy string) {
+	r.run = run
+	r.policy = policy
+}
+
+// Len returns the number of spans recorded so far.
+func (r *SpanRecorder) Len() int { return len(r.spans) }
+
+// Set returns the recorded spans with the run metadata attached. The
+// span slice is a copy.
+func (r *SpanRecorder) Set() *SpanSet {
+	cp := make([]Span, len(r.spans))
+	copy(cp, r.spans)
+	return &SpanSet{Run: r.run, Policy: r.policy, Spans: cp}
+}
+
+func (r *SpanRecorder) id() uint64 {
+	r.nextID++
+	return r.nextID
+}
+
+// rootFor reserves (or returns) the root span ID for a trace, so attempt
+// spans can point at their parent before the root itself is appended.
+func (r *SpanRecorder) rootFor(trace uint64) uint64 {
+	if id, ok := r.roots[trace]; ok {
+		return id
+	}
+	id := r.id()
+	r.roots[trace] = id
+	return id
+}
+
+// AttemptStart implements Tracer.
+func (r *SpanRecorder) AttemptStart(task *model.Task, placement model.Placement, hedge bool, at sim.Time) uint64 {
+	trace := uint64(task.ID)
+	root := r.rootFor(trace)
+	r.attempts[trace]++
+	id := r.id()
+	r.byID[id] = len(r.spans)
+	r.byTrace[trace] = append(r.byTrace[trace], id)
+	r.spans = append(r.spans, Span{
+		ID: id, Trace: trace, Parent: root,
+		Name: SpanAttempt, Backend: placement.String(),
+		Start: float64(at), End: float64(at),
+		Attempt: r.attempts[trace], Hedge: hedge,
+	})
+	return id
+}
+
+// AttemptEnd implements Tracer.
+func (r *SpanRecorder) AttemptEnd(id uint64, o model.Outcome, status string, at sim.Time) {
+	idx, ok := r.byID[id]
+	if !ok {
+		return
+	}
+	sp := &r.spans[idx]
+	sp.End = float64(at)
+	sp.Status = status
+	sp.CostUSD += o.CostUSD
+	if o.Failed && o.Exec.Err != nil {
+		if model.Transient(o.Exec.Err) {
+			sp.Fault = FaultTransient
+		} else {
+			sp.Fault = FaultFatal
+		}
+	}
+	if status != StatusTimeout {
+		// A timed-out attempt's synthetic outcome says nothing about where
+		// the straggler was stuck; leave it undecomposed.
+		r.emitPhases(*sp, o)
+	}
+}
+
+// AttemptCost implements Tracer.
+func (r *SpanRecorder) AttemptCost(id uint64, costUSD float64) {
+	if idx, ok := r.byID[id]; ok {
+		r.spans[idx].CostUSD += costUSD
+	}
+}
+
+// emitPhases reconstructs the attempt's timeline from its outcome:
+// uplink → queue → cold_start → exec → downlink, emitting only phases
+// with positive width.
+func (r *SpanRecorder) emitPhases(a Span, o model.Outcome) {
+	add := func(name string, start, end float64) {
+		if !(end > start) || math.IsNaN(start) || math.IsNaN(end) {
+			return
+		}
+		r.spans = append(r.spans, Span{
+			ID: r.id(), Trace: a.Trace, Parent: a.ID,
+			Name: name, Backend: a.Backend,
+			Start: start, End: end,
+			Attempt: a.Attempt, Hedge: a.Hedge,
+		})
+	}
+	up := float64(o.UplinkTime)
+	add(PhaseUplink, a.Start, a.Start+up)
+	// The substrate report places queue wait and cold start at the front
+	// of [Exec.Start, Exec.End]; the remainder is computation.
+	es, ee := float64(o.Exec.Start), float64(o.Exec.End)
+	if ee > 0 || es > 0 {
+		q, c := float64(o.Exec.QueueWait), float64(o.Exec.ColdStart)
+		add(PhaseQueue, es, es+q)
+		add(PhaseColdStart, es+q, es+q+c)
+		add(PhaseExec, es+q+c, ee)
+		add(PhaseDownlink, ee, ee+float64(o.DownlinkTime))
+	}
+}
+
+// BreakerTransition implements Tracer.
+func (r *SpanRecorder) BreakerTransition(placement model.Placement, from, to string, at sim.Time) {
+	r.spans = append(r.spans, Span{
+		ID: r.id(), Name: EventBreaker, Backend: placement.String(),
+		Start: float64(at), End: float64(at),
+		Status: from + ">" + to,
+	})
+}
+
+// HedgeCanceled implements Tracer.
+func (r *SpanRecorder) HedgeCanceled(task model.TaskID, at sim.Time) {
+	trace := uint64(task)
+	r.spans = append(r.spans, Span{
+		ID: r.id(), Trace: trace, Parent: r.rootFor(trace),
+		Name:  EventHedgeCancel,
+		Start: float64(at), End: float64(at),
+	})
+}
+
+// TaskDone implements Tracer: it appends the root span and the
+// submit/backoff gaps — the sub-intervals of [Started, Finished] during
+// which no attempt was in flight.
+func (r *SpanRecorder) TaskDone(o model.Outcome, at sim.Time) {
+	if o.Task == nil {
+		return
+	}
+	trace := uint64(o.Task.ID)
+	root := r.rootFor(trace)
+	start, end := float64(o.Started), float64(o.Finished)
+
+	status := StatusOK
+	switch {
+	case o.Failed:
+		status = StatusFailed
+	case o.MissedDeadline():
+		status = StatusMissed
+	}
+
+	r.emitGaps(trace, root, start, end)
+	r.spans = append(r.spans, Span{
+		ID: root, Trace: trace,
+		Name: SpanTask, Backend: o.Placement.String(),
+		Start: start, End: end,
+		Attempt: o.Attempts, Status: status,
+		CostUSD: o.CostUSD,
+	})
+
+	// The task settled and every attempt drained (the scheduler only
+	// reports drained tasks), so its bookkeeping can go.
+	for _, id := range r.byTrace[trace] {
+		delete(r.byID, id)
+	}
+	delete(r.byTrace, trace)
+	delete(r.roots, trace)
+	delete(r.attempts, trace)
+}
+
+// emitGaps walks the task's attempt intervals in start order and emits a
+// gap span for every hole in their union over [start, end]: before the
+// first attempt the task was pending submission ("submit"), between
+// attempts it was backing off ("backoff").
+func (r *SpanRecorder) emitGaps(trace, root uint64, start, end float64) {
+	const eps = 1e-9
+	cursor := start
+	sawAttempt := false
+	for _, id := range r.byTrace[trace] {
+		idx, ok := r.byID[id]
+		if !ok {
+			continue
+		}
+		a := r.spans[idx]
+		if a.Start-cursor > eps && a.Start <= end+eps {
+			name := PhaseBackoff
+			if !sawAttempt {
+				name = PhaseSubmit
+			}
+			r.spans = append(r.spans, Span{
+				ID: r.id(), Trace: trace, Parent: root,
+				Name: name, Start: cursor, End: math.Min(a.Start, end),
+			})
+		}
+		sawAttempt = true
+		if a.End > cursor {
+			cursor = a.End
+		}
+		if cursor >= end {
+			return
+		}
+	}
+	if end-cursor > eps {
+		name := PhaseBackoff
+		if !sawAttempt {
+			name = PhaseSubmit
+		}
+		r.spans = append(r.spans, Span{
+			ID: r.id(), Trace: trace, Parent: root,
+			Name: name, Start: cursor, End: end,
+		})
+	}
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The span JSONL container format: a header line identifying format and
+// version, then one span object per line. The version gates decoding, so
+// a reader never silently misinterprets an archive written by a future
+// schema.
+const (
+	SpanFormat  = "offload-spans"
+	SpanVersion = 1
+)
+
+// SpanSet is one run's spans plus the metadata that travels with them.
+type SpanSet struct {
+	Run    string
+	Policy string
+	Spans  []Span
+}
+
+type spanHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Run     string `json:"run,omitempty"`
+	Policy  string `json:"policy,omitempty"`
+}
+
+// WriteJSONL streams the set as a header line followed by one span per
+// line.
+func (s *SpanSet) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(spanHeader{
+		Format: SpanFormat, Version: SpanVersion,
+		Run: s.Run, Policy: s.Policy,
+	}); err != nil {
+		return fmt.Errorf("trace: encoding span header: %w", err)
+	}
+	for i := range s.Spans {
+		if err := enc.Encode(&s.Spans[i]); err != nil {
+			return fmt.Errorf("trace: encoding span %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSpansJSONL parses a span stream written by WriteJSONL. The header
+// must come first and carry a known format and version; blank lines are
+// skipped; malformed lines abort with a line-numbered error. Spans with
+// non-finite or reversed times are rejected so downstream analysis never
+// sees an impossible timeline.
+func ReadSpansJSONL(r io.Reader) (*SpanSet, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var set *SpanSet
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		if set == nil {
+			var h spanHeader
+			if err := json.Unmarshal(text, &h); err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad span header: %w", line, err)
+			}
+			if h.Format != SpanFormat {
+				return nil, fmt.Errorf("trace: line %d: format %q is not %q", line, h.Format, SpanFormat)
+			}
+			if h.Version != SpanVersion {
+				return nil, fmt.Errorf("trace: line %d: unsupported span version %d (have %d)", line, h.Version, SpanVersion)
+			}
+			set = &SpanSet{Run: h.Run, Policy: h.Policy}
+			continue
+		}
+		var sp Span
+		if err := json.Unmarshal(text, &sp); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if err := sp.validate(); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		set.Spans = append(set.Spans, sp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading spans: %w", err)
+	}
+	if set == nil {
+		return nil, fmt.Errorf("trace: span stream has no header")
+	}
+	return set, nil
+}
+
+// validate rejects spans no recorder can produce.
+func (s *Span) validate() error {
+	switch {
+	case !finite(s.Start) || !finite(s.End):
+		return fmt.Errorf("span %d has non-finite times [%g, %g]", s.ID, s.Start, s.End)
+	case s.End < s.Start:
+		return fmt.Errorf("span %d ends at %g before it starts at %g", s.ID, s.End, s.Start)
+	case s.Name == "":
+		return fmt.Errorf("span %d has no name", s.ID)
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

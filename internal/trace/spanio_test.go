@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func recordedSet(t *testing.T) *SpanSet {
+	t.Helper()
+	r := NewSpanRecorder()
+	r.SetMeta("roundtrip", "cloud-all")
+	driveRetryHedge(r)
+	return r.Set()
+}
+
+func TestSpanJSONLRoundTrip(t *testing.T) {
+	set := recordedSet(t)
+	var buf bytes.Buffer
+	if err := set.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.Contains(first, SpanFormat) {
+		t.Fatalf("first line is not the header: %q", first)
+	}
+	back, err := ReadSpansJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Run != set.Run || back.Policy != set.Policy {
+		t.Fatalf("meta lost: %+v", back)
+	}
+	if len(back.Spans) != len(set.Spans) {
+		t.Fatalf("%d spans back, want %d", len(back.Spans), len(set.Spans))
+	}
+	for i := range set.Spans {
+		if back.Spans[i] != set.Spans[i] {
+			t.Fatalf("span %d mutated:\nin  %+v\nout %+v", i, set.Spans[i], back.Spans[i])
+		}
+	}
+}
+
+func TestReadSpansJSONLRejects(t *testing.T) {
+	header := `{"format":"offload-spans","version":1}` + "\n"
+	cases := []struct {
+		name  string
+		input string
+		want  string // substring of the error
+	}{
+		{"no header", "", "no header"},
+		{"span before header", `{"id":1,"name":"task","start_s":0,"end_s":1}` + "\n", "format"},
+		{"wrong format", `{"format":"other","version":1}` + "\n", "format"},
+		{"future version", `{"format":"offload-spans","version":2}` + "\n", "version"},
+		{"garbage line", header + "not json\n", "line 2"},
+		{"reversed span", header + `{"id":1,"name":"task","start_s":5,"end_s":4}` + "\n", "before it starts"},
+		{"nameless span", header + `{"id":1,"start_s":0,"end_s":1}` + "\n", "no name"},
+		{"nan time", header + `{"id":1,"name":"task","start_s":1e999,"end_s":1}` + "\n", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadSpansJSONL(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatal("accepted malformed input")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	set := recordedSet(t)
+	var buf bytes.Buffer
+	if err := set.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TsUS  float64        `json:"ts"`
+			DurUS float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	// One metadata event per process: the tasks track and one per backend.
+	names := map[int]string{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "M" {
+			names[ev.PID] = ev.Args["name"].(string)
+		}
+	}
+	if names[tasksTrack] != "tasks" {
+		t.Fatalf("pid %d named %q, want tasks", tasksTrack, names[tasksTrack])
+	}
+	if len(names) != 2 || names[tasksTrack+1] != "backend: function" {
+		t.Fatalf("process names wrong: %v", names)
+	}
+
+	// Per (pid, tid) track, complete-event timestamps must be monotonic
+	// and non-overlapping; durations never negative.
+	type track struct{ pid, tid int }
+	lastEnd := map[track]float64{}
+	body := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "M" {
+			continue
+		}
+		body++
+		if ev.Phase != "X" && ev.Phase != "i" {
+			t.Fatalf("unexpected phase %q", ev.Phase)
+		}
+		if ev.DurUS < 0 {
+			t.Fatalf("negative duration on %q", ev.Name)
+		}
+		k := track{ev.PID, ev.TID}
+		if ev.Phase == "X" {
+			if ev.TsUS < lastEnd[k]-1e-6 {
+				t.Fatalf("track %v overlaps: %q starts at %g before %g", k, ev.Name, ev.TsUS, lastEnd[k])
+			}
+			lastEnd[k] = ev.TsUS + ev.DurUS
+		}
+	}
+	if body != len(set.Spans) {
+		t.Fatalf("%d body events, want %d spans", body, len(set.Spans))
+	}
+
+	// Determinism: a second export is byte-identical.
+	var again bytes.Buffer
+	if err := set.WriteChromeTrace(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("chrome export is not deterministic")
+	}
+}

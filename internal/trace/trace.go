@@ -38,6 +38,11 @@ type Record struct {
 	CostUSD      float64 `json:"cost_usd,omitempty"`
 	EnergyMilliJ float64 `json:"energy_mj,omitempty"`
 
+	// Attempts is how many dispatches the task took (retries and hedges
+	// included); 0 in traces written before the field existed, which
+	// readers treat as 1.
+	Attempts int `json:"attempts,omitempty"`
+
 	Missed bool `json:"missed,omitempty"`
 	Failed bool `json:"failed,omitempty"`
 }
@@ -55,6 +60,7 @@ func FromOutcome(o model.Outcome) Record {
 		ColdStartS:   float64(o.Exec.ColdStart),
 		CostUSD:      o.CostUSD,
 		EnergyMilliJ: o.EnergyMilliJ,
+		Attempts:     o.Attempts,
 		Missed:       o.MissedDeadline(),
 		Failed:       o.Failed,
 	}
@@ -178,6 +184,12 @@ type Summary struct {
 	MeanCompletion float64
 	TotalCostUSD   float64
 	TotalEnergyMJ  float64
+
+	// MeanAttempts is the mean dispatch count per task; RetryRate is the
+	// fraction of tasks that needed more than one. Records without an
+	// attempts field (pre-existing traces) count as single-attempt.
+	MeanAttempts float64
+	RetryRate    float64
 }
 
 // Summarize aggregates records. Cost and energy accumulate for every
@@ -186,10 +198,19 @@ type Summary struct {
 func Summarize(records []Record) Summary {
 	var s Summary
 	sum := 0.0
+	attempts, retried := 0, 0
 	for _, r := range records {
 		s.Tasks++
 		s.TotalCostUSD += r.CostUSD
 		s.TotalEnergyMJ += r.EnergyMilliJ
+		a := r.Attempts
+		if a < 1 {
+			a = 1
+		}
+		attempts += a
+		if a > 1 {
+			retried++
+		}
 		if r.Failed {
 			s.Failed++
 			continue
@@ -201,6 +222,10 @@ func Summarize(records []Record) Summary {
 	}
 	if n := s.Tasks - s.Failed; n > 0 {
 		s.MeanCompletion = sum / float64(n)
+	}
+	if s.Tasks > 0 {
+		s.MeanAttempts = float64(attempts) / float64(s.Tasks)
+		s.RetryRate = float64(retried) / float64(s.Tasks)
 	}
 	return s
 }
