@@ -21,13 +21,15 @@ fmt:
 race:
 	$(GO) test -race ./...
 
-# Short fuzzing smoke runs over the fault-injector invariants and the span
-# JSONL codec. Longer local sessions:
+# Short fuzzing smoke runs over the fault-injector invariants, the span
+# JSONL codec and the Page–Hinkley drift detector. Longer local sessions:
 #   go test -fuzz=FuzzFaultInjector -fuzztime=5m ./internal/fault/
 #   go test -fuzz=FuzzReadSpansJSONL -fuzztime=5m ./internal/trace/
+#   go test -fuzz=FuzzDriftDetector -fuzztime=5m ./internal/adapt/
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzFaultInjector -fuzztime=10s ./internal/fault/
 	$(GO) test -run='^$$' -fuzz=FuzzReadSpansJSONL -fuzztime=10s ./internal/trace/
+	$(GO) test -run='^$$' -fuzz=FuzzDriftDetector -fuzztime=10s ./internal/adapt/
 
 # Everything CI runs, in order: the gates plus the determinism diffs.
 ci: build vet fmt test race fuzz determinism metrics-golden spans-golden

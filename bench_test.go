@@ -1,7 +1,7 @@
 package offload_test
 
 // The benchmark harness: one benchmark per experiment in the evaluation
-// suite (E1–E17, see DESIGN.md and EXPERIMENTS.md), each regenerating its
+// suite (E1–E19, see DESIGN.md and EXPERIMENTS.md), each regenerating its
 // table(s) at the quick scale per iteration, plus micro-benchmarks for the
 // core algorithms. `go test -bench=. -benchmem` reproduces everything;
 // `go run ./cmd/offbench` prints the full-scale tables.
@@ -11,15 +11,19 @@ import (
 	"testing"
 
 	"offload"
+	"offload/internal/adapt"
 	"offload/internal/alloc"
 	"offload/internal/callgraph"
+	"offload/internal/cloudvm"
 	"offload/internal/core"
 	"offload/internal/device"
+	"offload/internal/edge"
 	"offload/internal/exp"
 	"offload/internal/model"
 	"offload/internal/network"
 	"offload/internal/partition"
 	"offload/internal/rng"
+	"offload/internal/sched"
 	"offload/internal/serverless"
 	"offload/internal/sim"
 	"offload/internal/workload"
@@ -117,6 +121,14 @@ func BenchmarkE16Providers(b *testing.B) { benchExperiment(b, "E16") }
 // BenchmarkE17Resilience regenerates Table 11: resilience strategies
 // under correlated cloud outages.
 func BenchmarkE17Resilience(b *testing.B) { benchExperiment(b, "E17") }
+
+// BenchmarkE18Attribution regenerates Table 12: span-level critical-path
+// and cost attribution.
+func BenchmarkE18Attribution(b *testing.B) { benchExperiment(b, "E18") }
+
+// BenchmarkE19Adaptive regenerates Table 13: bandit placement vs the
+// static policies across drifting regimes.
+func BenchmarkE19Adaptive(b *testing.B) { benchExperiment(b, "E19") }
 
 // --- micro-benchmarks for the core algorithms ---
 
@@ -219,6 +231,85 @@ func BenchmarkProfileCatalog(b *testing.B) {
 			Seed:       uint64(i),
 		}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchDecideEnv builds a full four-placement environment (device, edge,
+// serverless, VM) for policy hot-path benchmarks, mirroring the substrates
+// the scheduler sees in the experiments.
+func benchDecideEnv(b *testing.B) *sched.Env {
+	b.Helper()
+	eng := sim.NewEngine()
+	src := rng.New(42)
+	pool := sched.NewFunctionPool(serverless.NewPlatform(eng, src.Split(), serverless.LambdaLike()))
+	return &sched.Env{
+		Eng:       eng,
+		Device:    device.New(eng, device.Smartphone()),
+		Edge:      edge.New(eng, edge.SmallSite()),
+		EdgePath:  network.New(eng, src.Split(), network.LANEdge()),
+		Functions: pool,
+		CloudPath: network.New(eng, src.Split(), network.WiFiCloud()),
+		VM:        cloudvm.New(eng, cloudvm.C5Large()),
+	}
+}
+
+func benchDecideTask(i int) *model.Task {
+	return &model.Task{
+		ID: model.TaskID(i), App: "report-gen",
+		InputBytes: model.MB, OutputBytes: 256 * model.KB,
+		Cycles: 20e9, MemoryBytes: 512 * model.MB,
+		ParallelFraction: 0.5, Deadline: 600,
+	}
+}
+
+// BenchmarkDecideDeadlineAware measures the cost-model policy's Decide
+// hot path: four placement estimates per call.
+func BenchmarkDecideDeadlineAware(b *testing.B) {
+	env := benchDecideEnv(b)
+	p := sched.NewDeadlineAware()
+	pred := sched.NewPerApp(0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := p.Decide(benchDecideTask(i), env, pred); got == model.PlaceUnknown {
+			b.Fatal("no placement")
+		}
+	}
+}
+
+// BenchmarkDecideBanditUCB measures the contextual bandit's Decide hot
+// path, with the observe half of the loop included so arm statistics keep
+// evolving as they do in a live run.
+func BenchmarkDecideBanditUCB(b *testing.B) {
+	env := benchDecideEnv(b)
+	c, err := adapt.NewBandit(adapt.BanditUCB, adapt.DefaultConfig(), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred := sched.NewPerApp(0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		task := benchDecideTask(i)
+		placement := c.Decide(task, env, pred)
+		c.ObserveOutcome(model.Outcome{
+			Task: task, Placement: placement,
+			Started: 0, Finished: 2, CostUSD: 1e-4,
+		}, env)
+	}
+}
+
+// BenchmarkPerAppPredict measures the per-app EWMA demand predictor after
+// it has converged on one application.
+func BenchmarkPerAppPredict(b *testing.B) {
+	pred := sched.NewPerApp(0.3)
+	warm := benchDecideTask(0)
+	for i := 0; i < 32; i++ {
+		pred.Observe(warm, warm.Cycles)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := pred.PredictCycles(warm); got <= 0 {
+			b.Fatal("non-positive prediction")
 		}
 	}
 }

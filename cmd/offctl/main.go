@@ -9,6 +9,7 @@
 //	offctl profile -app ml-batch               # demand catalog only
 //	offctl partition -app video-transcode      # partition only
 //	offctl templates                           # list built-in templates
+//	offctl policies                            # list placement policy names
 //	offctl export -app report-gen              # dump a template's JSON spec
 //	offctl trace analyze spans.jsonl           # critical-path attribution + waste
 //	offctl trace chrome spans.jsonl out.json   # convert to Chrome trace format
@@ -61,6 +62,11 @@ func main() {
 			g := callgraph.Templates()[name]
 			fmt.Printf("%-16s %2d components, %.3g Gcycles/run\n",
 				name, g.Len(), g.TotalCycles()/1e9)
+		}
+		return
+	case "policies":
+		for _, p := range core.AllPolicies() {
+			fmt.Println(p)
 		}
 		return
 	case "plan", "profile", "partition", "export", "simulate":
@@ -335,6 +341,7 @@ commands:
   export      print a built-in template as a JSON spec
   simulate    plan, deploy and execute one run end to end
   templates   list built-in application templates
+  policies    list placement policy names (static + adaptive)
   trace       analyze a span archive (critical-path attribution, waste)
               or convert it to Chrome trace format`)
 	os.Exit(2)

@@ -34,7 +34,7 @@ import (
 
 func main() {
 	var (
-		policyFlag = flag.String("policy", "deadline-aware", "placement policy (local-only|edge-all|cloud-all|vm-all|random|deadline-aware)")
+		policyFlag = flag.String("policy", "deadline-aware", "placement policy (see `offctl policies`: local-only|edge-all|cloud-all|vm-all|random|threshold|deadline-aware|bandit-ucb|bandit-greedy)")
 		appFlag    = flag.String("app", "", "single application template (default: five-template mix)")
 		tasksFlag  = flag.Int("tasks", 500, "number of tasks")
 		rateFlag   = flag.Float64("rate", 0.02, "Poisson arrival rate per second")

@@ -1,0 +1,110 @@
+package adapt
+
+import (
+	"offload/internal/model"
+	"offload/internal/sched"
+	"offload/internal/sim"
+)
+
+// AdmissionConfig bounds how much offloaded work may be in flight and
+// when remote dispatch is suspended entirely. Zero-valued fields disable
+// the corresponding signal.
+type AdmissionConfig struct {
+	// MaxInFlight caps concurrently offloaded (non-local) tasks; excess
+	// decisions are localized.
+	MaxInFlight int
+	// MaxQueueDepth localizes while the serverless platform's invocation
+	// queue is at least this deep — the backpressure signal.
+	MaxQueueDepth int
+	// FailureStreak trips the localize breaker after this many consecutive
+	// remote failures.
+	FailureStreak int
+	// Cooldown is how long the breaker keeps localizing after it trips.
+	Cooldown sim.Duration
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.FailureStreak > 0 && c.Cooldown <= 0 {
+		c.Cooldown = 30
+	}
+	return c
+}
+
+// admission is the concurrency governor: it tracks in-flight offloads by
+// task ID (so reroutes and fallbacks cannot leak the counter), watches the
+// platform queue, and runs a consecutive-failure breaker whose trip
+// localizes all remote traffic for a cooldown.
+type admission struct {
+	cfg AdmissionConfig
+
+	remote        map[model.TaskID]struct{}
+	streak        int
+	cooldownUntil sim.Time
+
+	sheds uint64
+	trips uint64
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	return &admission{cfg: cfg.withDefaults(), remote: make(map[model.TaskID]struct{})}
+}
+
+// Sheds returns how many remote decisions were localized.
+func (a *admission) Sheds() uint64 { return a.sheds }
+
+// Trips returns how many times the failure-streak breaker opened.
+func (a *admission) Trips() uint64 { return a.trips }
+
+// InFlight returns the offloads currently outstanding.
+func (a *admission) InFlight() int { return len(a.remote) }
+
+// shouldShed reports whether a remote decision must be localized right
+// now, and which signal said so.
+func (a *admission) shouldShed(env *sched.Env, now sim.Time) (bool, string) {
+	if a.cfg.MaxInFlight > 0 && len(a.remote) >= a.cfg.MaxInFlight {
+		return true, "in-flight"
+	}
+	if now < a.cooldownUntil {
+		return true, "breaker"
+	}
+	if a.cfg.MaxQueueDepth > 0 && env.Functions != nil &&
+		env.Functions.Platform().QueuedInvocations() >= a.cfg.MaxQueueDepth {
+		return true, "queue"
+	}
+	return false, ""
+}
+
+// noteDispatch records where the task was actually sent.
+func (a *admission) noteDispatch(id model.TaskID, p model.Placement) {
+	if p != model.PlaceLocal && p != model.PlaceUnknown {
+		a.remote[id] = struct{}{}
+	}
+}
+
+// noteOutcome settles the in-flight ledger and feeds the failure-streak
+// breaker. Returns true when this outcome tripped the breaker.
+func (a *admission) noteOutcome(o model.Outcome, now sim.Time) bool {
+	if o.Task == nil {
+		return false
+	}
+	wasRemote := false
+	if _, ok := a.remote[o.Task.ID]; ok {
+		wasRemote = true
+		delete(a.remote, o.Task.ID)
+	}
+	if !wasRemote {
+		return false
+	}
+	if !o.Failed {
+		a.streak = 0
+		return false
+	}
+	a.streak++
+	if a.cfg.FailureStreak > 0 && a.streak >= a.cfg.FailureStreak {
+		a.streak = 0
+		a.trips++
+		a.cooldownUntil = now.Add(a.cfg.Cooldown)
+		return true
+	}
+	return false
+}

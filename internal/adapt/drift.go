@@ -1,0 +1,82 @@
+package adapt
+
+import "math"
+
+// DriftConfig parameterises the Page–Hinkley change detector the
+// controller runs per backend on settled completion times.
+type DriftConfig struct {
+	// Lambda is the detection threshold: cumulative positive deviation (in
+	// seconds) beyond which the mean is declared shifted. Default 30.
+	Lambda float64
+	// Delta is the insensitivity band subtracted from every deviation, so
+	// ordinary noise does not accumulate. Default 0.05.
+	Delta float64
+	// MinSamples suppresses detection until this many observations have
+	// been seen since the last reset. Default 8.
+	MinSamples int
+	// FailurePenaltyS is the completion-time surrogate fed to the detector
+	// for a failed task — failures must register as drift even when they
+	// fail fast. Default 120.
+	FailurePenaltyS float64
+}
+
+func (c DriftConfig) withDefaults() DriftConfig {
+	if c.Lambda <= 0 {
+		c.Lambda = 30
+	}
+	if c.Delta <= 0 {
+		c.Delta = 0.05
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.FailurePenaltyS <= 0 {
+		c.FailurePenaltyS = 120
+	}
+	return c
+}
+
+// PageHinkley detects an upward shift in the mean of a stream: it
+// accumulates deviations from the running mean (minus the insensitivity
+// band Delta) and fires when the accumulator climbs more than Lambda above
+// its historical minimum. Purely arithmetic — no randomness — so a
+// deterministic input stream always fires at the same observation.
+type PageHinkley struct {
+	cfg DriftConfig
+
+	n      int
+	mean   float64
+	cum    float64
+	minCum float64
+}
+
+// NewPageHinkley returns a detector; zero config fields take defaults.
+func NewPageHinkley(cfg DriftConfig) *PageHinkley {
+	return &PageHinkley{cfg: cfg.withDefaults()}
+}
+
+// Observe feeds one value and reports whether it crossed the detection
+// threshold. Non-finite values are ignored (never observed, never fire).
+// The caller decides what to do on detection — typically Reset plus
+// whatever downstream invalidation the regime change implies.
+func (d *PageHinkley) Observe(x float64) bool {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return false
+	}
+	d.n++
+	d.mean += (x - d.mean) / float64(d.n)
+	d.cum += x - d.mean - d.cfg.Delta
+	if d.cum < d.minCum {
+		d.minCum = d.cum
+	}
+	return d.n >= d.cfg.MinSamples && d.cum-d.minCum > d.cfg.Lambda
+}
+
+// Reset clears all accumulated state, returning the detector to its
+// freshly-constructed condition.
+func (d *PageHinkley) Reset() {
+	d.n, d.mean, d.cum, d.minCum = 0, 0, 0, 0
+}
+
+// N returns observations since the last reset.
+func (d *PageHinkley) N() int { return d.n }

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 
+	"offload/internal/adapt"
 	"offload/internal/cloudvm"
 	"offload/internal/device"
 	"offload/internal/edge"
@@ -34,6 +35,8 @@ const (
 	PolicyRandom        PolicyName = "random"
 	PolicyThreshold     PolicyName = "threshold"
 	PolicyDeadlineAware PolicyName = "deadline-aware"
+	PolicyBanditUCB     PolicyName = "bandit-ucb"
+	PolicyBanditGreedy  PolicyName = "bandit-greedy"
 )
 
 // DefaultThresholdCycles is the offloading threshold the "threshold"
@@ -45,6 +48,7 @@ func AllPolicies() []PolicyName {
 	return []PolicyName{
 		PolicyLocalOnly, PolicyEdgeAll, PolicyCloudAll,
 		PolicyVMAll, PolicyRandom, PolicyThreshold, PolicyDeadlineAware,
+		PolicyBanditUCB, PolicyBanditGreedy,
 	}
 }
 
@@ -127,6 +131,15 @@ type Config struct {
 	// DailyBudgetUSD caps serverless spending per virtual day: once spent,
 	// serverless-bound tasks fall back to free capacity. Zero disables.
 	DailyBudgetUSD float64
+
+	// Adapt configures the online adaptive layer (internal/adapt). For the
+	// bandit-ucb / bandit-greedy policies it parameterises the bandit
+	// (nil takes adapt.DefaultConfig); for any other policy a non-nil
+	// Adapt wraps the policy with the configured memory tuning, drift
+	// detection and admission control. The layer is strictly opt-in: a nil
+	// Adapt with a non-bandit policy leaves every code path and rng stream
+	// exactly as before.
+	Adapt *adapt.Config
 }
 
 // DefaultConfig is a smartphone on WiFi/LAN with every substrate present
@@ -162,6 +175,7 @@ type System struct {
 
 	observer *Observer           // nil unless Observe was called
 	spanRec  *trace.SpanRecorder // nil unless EnableSpans was called
+	adapt    *adapt.Controller   // nil unless the adaptive layer is on
 	cfg      Config
 }
 
@@ -206,7 +220,7 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 	}
 
-	policy, err := buildPolicy(cfg.Policy, src)
+	policy, ctrl, err := buildPolicy(cfg, src)
 	if err != nil {
 		return nil, err
 	}
@@ -261,7 +275,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys := &System{Eng: eng, Src: src, Env: env, Scheduler: s, Recorder: rec, cfg: cfg}
+	sys := &System{Eng: eng, Src: src, Env: env, Scheduler: s, Recorder: rec, adapt: ctrl, cfg: cfg}
 	if cfg.Batch != nil && cfg.OffPeakShift {
 		return nil, fmt.Errorf("core: Batch and OffPeakShift are mutually exclusive")
 	}
@@ -314,7 +328,43 @@ func NewSystem(cfg Config) (*System, error) {
 	return sys, nil
 }
 
-func buildPolicy(name PolicyName, src *rng.Source) (sched.Policy, error) {
+// buildPolicy resolves the configured policy, constructing the adaptive
+// controller when the policy is a bandit or an Adapt block asks for the
+// wrap. The controller (nil otherwise) is also returned so the System can
+// expose its learned state. Only bandit policies draw from src here —
+// configurations without them consume the stream exactly as before.
+func buildPolicy(cfg Config, src *rng.Source) (sched.Policy, *adapt.Controller, error) {
+	acfg := adapt.DefaultConfig()
+	if cfg.Adapt != nil {
+		acfg = *cfg.Adapt
+	}
+	switch cfg.Policy {
+	case PolicyBanditUCB, PolicyBanditGreedy:
+		kind := adapt.BanditUCB
+		if cfg.Policy == PolicyBanditGreedy {
+			kind = adapt.BanditGreedy
+		}
+		ctrl, err := adapt.NewBandit(kind, acfg, src.Split())
+		if err != nil {
+			return nil, nil, err
+		}
+		return ctrl, ctrl, nil
+	}
+	base, err := buildStaticPolicy(cfg.Policy, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.Adapt == nil {
+		return base, nil, nil
+	}
+	ctrl, err := adapt.Wrap(base, acfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ctrl, ctrl, nil
+}
+
+func buildStaticPolicy(name PolicyName, src *rng.Source) (sched.Policy, error) {
 	switch name {
 	case PolicyLocalOnly, "":
 		return sched.LocalOnly{}, nil
@@ -391,9 +441,16 @@ func (s *System) EnableSpans() *trace.SpanRecorder {
 		s.spanRec = trace.NewSpanRecorder()
 		s.spanRec.SetMeta("run", string(s.cfg.Policy))
 		s.Scheduler.SetTracer(s.spanRec)
+		if s.adapt != nil {
+			s.adapt.SetTracer(s.spanRec)
+		}
 	}
 	return s.spanRec
 }
+
+// Adapt returns the adaptive-layer controller, or nil when the
+// configuration did not enable one.
+func (s *System) Adapt() *adapt.Controller { return s.adapt }
 
 // SpanSet returns the causal spans recorded so far, or nil when
 // EnableSpans was never called.

@@ -99,7 +99,7 @@ func NewFleet(cfg Config, n int) (*Fleet, error) {
 				env.CloudPath = network.New(eng, src.Split(), *cfg.CloudPath)
 			}
 		}
-		policy, err := buildPolicy(cfg.Policy, src)
+		policy, _, err := buildPolicy(cfg, src)
 		if err != nil {
 			return nil, err
 		}

@@ -181,6 +181,13 @@ func (s *System) Registry(name string) *metrics.Registry {
 	reg.Counter("dev_executed").Add(float64(s.Env.Device.Executed()))
 	reg.Counter("dev_drained_j").Add(s.Env.Device.DrainedJ())
 
+	// Adaptive-layer state (decisions by arm, switches, drift resets,
+	// sheds, resizes) appears only when the layer is on, so registries of
+	// non-adaptive configurations keep their exact historical shape.
+	if s.adapt != nil {
+		s.adapt.FillRegistry(reg)
+	}
+
 	// The completion-time distribution merges observation-wise, so
 	// registries from independent cells still answer quantile queries.
 	if err := reg.LatencyHistogram("completion_s").Merge(st.Completion); err != nil {

@@ -53,8 +53,8 @@ func num(t *testing.T, cell string) float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(reg))
+	if len(reg) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {
@@ -697,5 +697,65 @@ func TestE10Shape(t *testing.T) {
 		if num(t, r[miss]) > 10 {
 			t.Errorf("error %s: miss rate %s above 10%%", r[relErr], r[miss])
 		}
+	}
+}
+
+func TestE19Shape(t *testing.T) {
+	tables, err := E19Adaptive(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("E19 produced %d tables, want 2", len(tables))
+	}
+	header, data := rows(t, tables[0])
+	if want := 3 * 9; len(data) != want {
+		t.Fatalf("detail table has %d rows, want %d (3 cells x 9 policies)", len(data), want)
+	}
+	policy := col(t, header, "policy")
+	drift := col(t, header, "drift")
+	cell := col(t, header, "cell")
+	fired := false
+	for _, r := range data {
+		adaptive := strings.HasPrefix(r[policy], "bandit")
+		if adaptive && r[drift] == "-" {
+			t.Errorf("adaptive row %v reports no drift counter", r)
+		}
+		if !adaptive && r[drift] != "-" {
+			t.Errorf("static row %v reports a drift counter", r)
+		}
+		if adaptive && r[cell] == "outage" && num(t, r[drift]) > 0 {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Error("no adaptive policy saw the drift detector fire in the outage cell")
+	}
+
+	// The headline claim: each bandit's cumulative objective beats every
+	// static baseline's, and stays within 25% regret of the per-cell
+	// static-best oracle.
+	sHeader, sData := rows(t, tables[1])
+	total := col(t, sHeader, "total")
+	regret := col(t, sHeader, "regret")
+	bestStatic, worstBandit := -1.0, -1.0
+	for _, r := range sData {
+		switch {
+		case strings.HasPrefix(r[policy], "bandit"):
+			if v := num(t, r[total]); v > worstBandit {
+				worstBandit = v
+			}
+			if v := num(t, r[regret]); v > 25 {
+				t.Errorf("%s regret %s above the 25%% bound", r[policy], r[regret])
+			}
+		case r[policy] == "oracle(static-best)":
+		default:
+			if v := num(t, r[total]); bestStatic < 0 || v < bestStatic {
+				bestStatic = v
+			}
+		}
+	}
+	if worstBandit >= bestStatic {
+		t.Errorf("bandit total %.3f does not beat best static %.3f", worstBandit, bestStatic)
 	}
 }

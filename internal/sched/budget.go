@@ -92,3 +92,11 @@ func (p *BudgetedPolicy) Decide(task *model.Task, env *Env, pred Predictor) mode
 		return model.PlaceLocal
 	}
 }
+
+// ObserveOutcome forwards outcome feedback to the wrapped policy when it
+// learns online, so budget capping composes with adaptive placement.
+func (p *BudgetedPolicy) ObserveOutcome(o model.Outcome, env *Env) {
+	if fp, ok := p.Inner.(FeedbackPolicy); ok {
+		fp.ObserveOutcome(o, env)
+	}
+}

@@ -118,6 +118,29 @@ func (p *FunctionPool) deploy(task *model.Task, predictedCycles float64, entry *
 	return nil
 }
 
+// Resize re-deploys the app's function at the given memory size — the
+// online memory tuner's lever. memBytes must lie on the platform's ladder
+// (the allocator only proposes ladder sizes). Re-deploying discards warm
+// containers, exactly as a live configuration change would. No-op when the
+// app has no deployed function or the size is unchanged.
+func (p *FunctionPool) Resize(app string, memBytes int64) error {
+	entry, ok := p.byApp[app]
+	if !ok || entry.sizedMem == memBytes {
+		return nil
+	}
+	fn, err := p.platform.Deploy(serverless.FunctionConfig{
+		Name:                   "app-" + app,
+		MemoryBytes:            memBytes,
+		ProvisionedConcurrency: p.ProvisionedConcurrency,
+	})
+	if err != nil {
+		return fmt.Errorf("resizing function for %s: %w", app, err)
+	}
+	entry.fn = fn
+	entry.sizedMem = memBytes
+	return nil
+}
+
 // Sized returns the deployed memory size for an app, or 0 if not deployed.
 func (p *FunctionPool) Sized(app string) int64 {
 	if e, ok := p.byApp[app]; ok {

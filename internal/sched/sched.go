@@ -437,6 +437,9 @@ func (s *Scheduler) finish(o model.Outcome) {
 	if o.Task != nil && !o.Failed {
 		s.pred.Observe(o.Task, o.Task.Cycles)
 	}
+	if fp, ok := s.policy.(FeedbackPolicy); ok {
+		fp.ObserveOutcome(o, s.env)
+	}
 	s.stats.record(o)
 	if s.tr != nil {
 		s.tr.TaskDone(o, s.env.Eng.Now())

@@ -410,6 +410,19 @@ func NewPlatform(eng *sim.Engine, src *rng.Source, cfg Config) *Platform {
 // fault injection.
 func (p *Platform) SetFaultInjector(inj fault.Injector) { p.inj = inj }
 
+// SetColdStart replaces the cold-start model from the current virtual
+// time on — regime drift, e.g. a heavier runtime image rolled out
+// mid-run. Keep MedianSec's zero/non-zero status unchanged across the
+// swap: the per-invocation sample draw count (and with it the platform's
+// rng stream) then stays aligned, so runs remain deterministic.
+func (p *Platform) SetColdStart(m ColdStartModel) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	p.cfg.ColdStart = m
+	return nil
+}
+
 // Config returns the platform configuration.
 func (p *Platform) Config() Config { return p.cfg }
 

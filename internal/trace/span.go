@@ -28,6 +28,7 @@ const (
 
 	EventBreaker     = "breaker"      // Status carries "from>to"
 	EventHedgeCancel = "hedge_cancel" // armed hedge timer cancelled unfired
+	EventAdapt       = "adapt"        // adaptive-layer decision; Status carries the kind
 )
 
 // Attempt statuses: how one dispatch of a task ended.
@@ -246,6 +247,17 @@ func (r *SpanRecorder) BreakerTransition(placement model.Placement, from, to str
 		ID: r.id(), Name: EventBreaker, Backend: placement.String(),
 		Start: float64(at), End: float64(at),
 		Status: from + ">" + to,
+	})
+}
+
+// AdaptEvent records a control-plane decision of the adaptive layer
+// (internal/adapt) as a zero-width run-scoped event span: Status carries
+// the decision kind (drift_reset, resize, localize), Backend its subject.
+func (r *SpanRecorder) AdaptEvent(kind, subject string, at sim.Time) {
+	r.spans = append(r.spans, Span{
+		ID: r.id(), Name: EventAdapt, Backend: subject,
+		Start: float64(at), End: float64(at),
+		Status: kind,
 	})
 }
 

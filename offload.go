@@ -34,6 +34,7 @@
 package offload
 
 import (
+	"offload/internal/adapt"
 	"offload/internal/callgraph"
 	"offload/internal/chain"
 	"offload/internal/cicd"
@@ -75,7 +76,25 @@ const (
 	PolicyRandom        = core.PolicyRandom
 	PolicyThreshold     = core.PolicyThreshold
 	PolicyDeadlineAware = core.PolicyDeadlineAware
+	PolicyBanditUCB     = core.PolicyBanditUCB
+	PolicyBanditGreedy  = core.PolicyBanditGreedy
 )
+
+// Online adaptive layer (internal/adapt): bandit placement, runtime
+// memory tuning, drift detection and admission control.
+type (
+	// AdaptConfig tunes the adaptive layer; set Config.Adapt to enable it
+	// for non-bandit policies (the bandit policies enable it implicitly).
+	AdaptConfig = adapt.Config
+	// AdaptDriftConfig tunes the per-backend Page–Hinkley drift detector.
+	AdaptDriftConfig = adapt.DriftConfig
+	// AdaptAdmissionConfig tunes the admission controller.
+	AdaptAdmissionConfig = adapt.AdmissionConfig
+)
+
+// DefaultAdaptConfig enables every adaptive feature with the package
+// defaults.
+func DefaultAdaptConfig() AdaptConfig { return adapt.DefaultConfig() }
 
 // NewSystem builds a System from the configuration.
 func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
