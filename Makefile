@@ -1,6 +1,15 @@
 GO ?= go
 
-.PHONY: all build test vet fmt race fuzz ci determinism metrics-golden spans-golden golden bench bench-full results examples clean
+.PHONY: all build test vet fmt race fuzz ci determinism metrics-golden spans-golden golden offbench-bin bench bench-micro bench-json bench-gate bench-full results examples clean
+
+# The offbench binary shared by the determinism and golden targets; built
+# once per make invocation instead of once per target.
+OFFBENCH_BIN = /tmp/offbench-ci
+
+# The micro-benchmark packages whose hot paths carry allocation and
+# latency contracts, and the committed baseline they gate against.
+BENCH_PKGS = ./internal/sim/ ./internal/metrics/ ./internal/trace/
+BENCH_BASELINE = BENCH_2026-08-08.json
 
 all: build vet test
 
@@ -34,25 +43,27 @@ fuzz:
 # Everything CI runs, in order: the gates plus the determinism diffs.
 ci: build vet fmt test race fuzz determinism metrics-golden spans-golden
 
+# Build the offbench binary the golden targets share.
+offbench-bin:
+	$(GO) build -o $(OFFBENCH_BIN) ./cmd/offbench
+
 # Prove offbench's stdout is byte-identical serial vs parallel and still
 # matches the committed quick-scale goldens.
-determinism:
-	$(GO) build -o /tmp/offbench-ci ./cmd/offbench
-	/tmp/offbench-ci -scale quick -csv -seed 1 -parallel 1 -quiet > /tmp/offbench-serial.txt
-	/tmp/offbench-ci -scale quick -csv -seed 1 -parallel 4 -quiet > /tmp/offbench-parallel.txt
+determinism: offbench-bin
+	$(OFFBENCH_BIN) -scale quick -csv -seed 1 -parallel 1 -quiet > /tmp/offbench-serial.txt
+	$(OFFBENCH_BIN) -scale quick -csv -seed 1 -parallel 4 -quiet > /tmp/offbench-parallel.txt
 	cmp /tmp/offbench-serial.txt /tmp/offbench-parallel.txt
 	rm -rf /tmp/offbench-golden
-	/tmp/offbench-ci -scale quick -csv -seed 1 -parallel 4 -quiet -out /tmp/offbench-golden > /dev/null
+	$(OFFBENCH_BIN) -scale quick -csv -seed 1 -parallel 4 -quiet -out /tmp/offbench-golden > /dev/null
 	diff -ru results/golden /tmp/offbench-golden
 
 # Prove the -metrics export merges deterministically: serial and parallel
 # runs must produce byte-identical files, and the committed samples (one
 # time series, one merged registry) must still match.
-metrics-golden:
-	$(GO) build -o /tmp/offbench-ci ./cmd/offbench
+metrics-golden: offbench-bin
 	rm -rf /tmp/offbench-metrics-serial /tmp/offbench-metrics-parallel
-	/tmp/offbench-ci -scale quick -csv -seed 1 -exp E1 -parallel 1 -quiet -metrics /tmp/offbench-metrics-serial > /dev/null
-	/tmp/offbench-ci -scale quick -csv -seed 1 -exp E1 -parallel 4 -quiet -metrics /tmp/offbench-metrics-parallel > /dev/null
+	$(OFFBENCH_BIN) -scale quick -csv -seed 1 -exp E1 -parallel 1 -quiet -metrics /tmp/offbench-metrics-serial > /dev/null
+	$(OFFBENCH_BIN) -scale quick -csv -seed 1 -exp E1 -parallel 4 -quiet -metrics /tmp/offbench-metrics-parallel > /dev/null
 	diff -r /tmp/offbench-metrics-serial /tmp/offbench-metrics-parallel
 	cmp results/metrics-golden/e1_cell001.csv /tmp/offbench-metrics-serial/e1_cell001.csv
 	cmp results/metrics-golden/e1_registry.csv /tmp/offbench-metrics-serial/e1_registry.csv
@@ -60,11 +71,10 @@ metrics-golden:
 # Prove the -spans export is deterministic: serial and parallel runs must
 # produce byte-identical span JSONL and Chrome trace files, and the
 # committed E18 samples must still match.
-spans-golden:
-	$(GO) build -o /tmp/offbench-ci ./cmd/offbench
+spans-golden: offbench-bin
 	rm -rf /tmp/offbench-spans-serial /tmp/offbench-spans-parallel
-	/tmp/offbench-ci -scale quick -csv -seed 1 -exp E18 -parallel 1 -quiet -spans /tmp/offbench-spans-serial > /dev/null
-	/tmp/offbench-ci -scale quick -csv -seed 1 -exp E18 -parallel 4 -quiet -spans /tmp/offbench-spans-parallel > /dev/null
+	$(OFFBENCH_BIN) -scale quick -csv -seed 1 -exp E18 -parallel 1 -quiet -spans /tmp/offbench-spans-serial > /dev/null
+	$(OFFBENCH_BIN) -scale quick -csv -seed 1 -exp E18 -parallel 4 -quiet -spans /tmp/offbench-spans-parallel > /dev/null
 	diff -r /tmp/offbench-spans-serial /tmp/offbench-spans-parallel
 	diff -r results/spans-golden /tmp/offbench-spans-serial
 
@@ -79,8 +89,32 @@ golden:
 	rm -rf /tmp/offbench-metrics-regen
 	$(GO) run ./cmd/offbench -scale quick -csv -seed 1 -exp E18 -quiet -spans results/spans-golden > /dev/null
 
+# The E-suite benchmarks (root package). -run='^$$' keeps unit tests from
+# rerunning; output lands in results/bench_latest.txt (gitignored) so a
+# bench run never dirties the committed goldens.
 bench:
-	$(GO) test -bench=. -benchmem
+	mkdir -p results
+	$(GO) test -run='^$$' -bench=. -benchmem . | tee results/bench_latest.txt
+
+# The hot-path micro-benchmarks: event kernel, metric touches, span
+# recording. -count=6 gives benchstat/benchgate enough samples to tell a
+# regression from noise.
+bench-micro:
+	mkdir -p results
+	$(GO) test -run='^$$' -bench=. -benchmem -count=6 $(BENCH_PKGS) | tee results/bench_micro.txt
+
+# Regenerate the committed micro-benchmark baseline after an intentional
+# performance change.
+bench-json: bench-micro
+	$(GO) run ./cmd/benchgate -emit results/bench_micro.txt > $(BENCH_BASELINE)
+
+# Gate the current tree's micro-benchmarks against the committed
+# baseline: any allocs/op increase on a zero-alloc path fails. ns/op is
+# not gated here because the baseline was recorded on other hardware; CI
+# gates ns/op against a same-runner merge-base build instead.
+bench-gate: bench-micro
+	$(GO) run ./cmd/benchgate -emit results/bench_micro.txt > results/bench_head.json
+	$(GO) run ./cmd/benchgate -old $(BENCH_BASELINE) -new results/bench_head.json
 
 # Regenerate every experiment table at full scale into results/.
 results:

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"offload/internal/exp"
+	"offload/internal/metrics"
 )
 
 func main() {
@@ -128,14 +129,16 @@ func run(args []string, registry []exp.Experiment, stdout, stderr io.Writer) int
 		fmt.Fprintf(stdout, "### %s — %s\n\n", res.ID, res.Claim)
 		for i, t := range res.Tables {
 			if *csvFlag {
-				fmt.Fprintf(stdout, "# %s\n%s\n", t.Title(), t.CSV())
+				fmt.Fprintf(stdout, "# %s\n", t.Title())
+				t.WriteCSV(stdout)
+				fmt.Fprintln(stdout)
 			} else {
 				fmt.Fprintln(stdout, t.String())
 			}
 			if *outFlag != "" {
 				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(res.ID), i+1)
 				path := filepath.Join(*outFlag, name)
-				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				if err := writeTableCSV(path, t); err != nil {
 					fmt.Fprintf(stderr, "offbench: writing %s: %v\n", path, err)
 					return 1
 				}
@@ -217,6 +220,19 @@ func writeSpans(dir string, res exp.Result) error {
 		}
 	}
 	return nil
+}
+
+// writeTableCSV streams one result table to a CSV file.
+func writeTableCSV(path string, t *metrics.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeBoth writes <dir>/<name>.csv and <dir>/<name>.jsonl from the given

@@ -108,7 +108,7 @@ type instance struct {
 	busy      int
 	retired   bool
 	retiredAt sim.Time
-	idleEv    *sim.Event
+	idleEv    sim.EventRef
 	scaledUp  bool // true if beyond MinInstances (eligible for shutdown)
 }
 
@@ -218,10 +218,8 @@ func (f *Fleet) maybeScaleUp() {
 
 func (f *Fleet) runOn(in *instance, p *pending) {
 	in.busy++
-	if in.idleEv != nil {
-		f.eng.Cancel(in.idleEv)
-		in.idleEv = nil
-	}
+	f.eng.Cancel(in.idleEv)
+	in.idleEv = sim.EventRef{}
 	start := p.at
 	exec := f.ExecTime(p.task)
 	// Fault model: a crash occupies the core for CrashFrac of the run and
@@ -267,9 +265,7 @@ func (f *Fleet) armIdleShutdown(in *instance) {
 	if !in.scaledUp || in.retired || in.busy > 0 || f.cfg.IdleShutdownAfter == 0 {
 		return
 	}
-	if in.idleEv != nil {
-		f.eng.Cancel(in.idleEv)
-	}
+	f.eng.Cancel(in.idleEv)
 	in.idleEv = f.eng.After(f.cfg.IdleShutdownAfter, func() {
 		if in.busy == 0 && !in.retired {
 			in.retired = true

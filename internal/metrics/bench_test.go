@@ -1,0 +1,37 @@
+package metrics
+
+import "testing"
+
+// BenchmarkRegistryTouch measures the instrumented-code hot path: look up
+// an existing labelled counter and increment it. Steady-state touches
+// must not allocate — the key string is interned on first use.
+func BenchmarkRegistryTouch(b *testing.B) {
+	r := NewRegistry("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Counter("tasks_total", L("backend", "serverless")).Inc()
+	}
+}
+
+// BenchmarkRegistryTouchTwoLabels is the two-dimension variant: backend
+// plus application, the label shape the experiment suite uses most.
+func BenchmarkRegistryTouchTwoLabels(b *testing.B) {
+	r := NewRegistry("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Counter("tasks_total", L("backend", "edge"), L("app", "report-gen")).Inc()
+	}
+}
+
+// BenchmarkRegistryHistogramTouch measures a labelled latency-histogram
+// observation, the per-task recording path.
+func BenchmarkRegistryHistogramTouch(b *testing.B) {
+	r := NewRegistry("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.LatencyHistogram("completion_s", L("backend", "vm")).Observe(0.25)
+	}
+}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"math"
@@ -66,6 +67,51 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	// Interned key strings: rendering name{a=1,b=2} allocates, so the
+	// rendered form is cached per (name, labels) tuple and steady-state
+	// metric touches reuse it without allocating. Struct-valued map keys
+	// make the cache lookup itself allocation-free.
+	keys1 map[labelKey1]string
+	keys2 map[labelKey2]string
+}
+
+type labelKey1 struct{ name, ln, lv string }
+
+type labelKey2 struct{ name, l1n, l1v, l2n, l2v string }
+
+// key returns the canonical registry key for name+labels, interning the
+// rendered string for the one- and two-label shapes the hot paths use.
+// Three or more labels fall back to rendering every time.
+func (r *Registry) key(name string, labels []Label) string {
+	switch len(labels) {
+	case 0:
+		return name
+	case 1:
+		k := labelKey1{name, labels[0].Name, labels[0].Value}
+		if s, ok := r.keys1[k]; ok {
+			return s
+		}
+		s := Key(name, labels)
+		if r.keys1 == nil {
+			r.keys1 = make(map[labelKey1]string)
+		}
+		r.keys1[k] = s
+		return s
+	case 2:
+		k := labelKey2{name, labels[0].Name, labels[0].Value, labels[1].Name, labels[1].Value}
+		if s, ok := r.keys2[k]; ok {
+			return s
+		}
+		s := Key(name, labels)
+		if r.keys2 == nil {
+			r.keys2 = make(map[labelKey2]string)
+		}
+		r.keys2[k] = s
+		return s
+	default:
+		return Key(name, labels)
+	}
 }
 
 // NewRegistry returns an empty registry with the given name.
@@ -108,7 +154,7 @@ func Key(name string, labels []Label) string {
 
 // Counter returns the counter for name+labels, creating it on first use.
 func (r *Registry) Counter(name string, labels ...Label) *Counter {
-	k := Key(name, labels)
+	k := r.key(name, labels)
 	c, ok := r.counters[k]
 	if !ok {
 		c = &Counter{}
@@ -119,7 +165,7 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 
 // Gauge returns the gauge for name+labels, creating it on first use.
 func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
-	k := Key(name, labels)
+	k := r.key(name, labels)
 	g, ok := r.gauges[k]
 	if !ok {
 		g = &Gauge{}
@@ -132,7 +178,7 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 // given bounds on first use. The bounds of an existing histogram are kept;
 // mixing bounds under one key would make merges incompatible.
 func (r *Registry) Histogram(name string, min, max, growth float64, labels ...Label) *Histogram {
-	k := Key(name, labels)
+	k := r.key(name, labels)
 	h, ok := r.hists[k]
 	if !ok {
 		h = NewHistogram(min, max, growth)
@@ -144,7 +190,7 @@ func (r *Registry) Histogram(name string, min, max, growth float64, labels ...La
 // LatencyHistogram returns the histogram for name+labels with the standard
 // latency bounds (see NewLatencyHistogram), creating it on first use.
 func (r *Registry) LatencyHistogram(name string, labels ...Label) *Histogram {
-	k := Key(name, labels)
+	k := r.key(name, labels)
 	h, ok := r.hists[k]
 	if !ok {
 		h = NewLatencyHistogram()
@@ -252,9 +298,11 @@ func (r *Registry) Snapshot() []Point {
 	return pts
 }
 
-// WriteCSV writes the snapshot as CSV with a kind,metric,stat,value header.
+// WriteCSV writes the snapshot as CSV with a kind,metric,stat,value
+// header. Rows stream through a buffered writer rather than rendering
+// the whole export in memory first.
 func (r *Registry) WriteCSV(w io.Writer) error {
-	var b strings.Builder
+	b := bufio.NewWriter(w)
 	b.WriteString("kind,metric,stat,value\n")
 	for _, p := range r.Snapshot() {
 		b.WriteString(p.Kind)
@@ -266,13 +314,13 @@ func (r *Registry) WriteCSV(w io.Writer) error {
 		b.WriteString(FormatFloat(p.Value))
 		b.WriteByte('\n')
 	}
-	_, err := io.WriteString(w, b.String())
-	return err
+	return b.Flush()
 }
 
-// WriteJSONL writes the snapshot as one JSON object per line.
+// WriteJSONL writes the snapshot as one JSON object per line, streamed
+// through a buffered writer.
 func (r *Registry) WriteJSONL(w io.Writer) error {
-	var b strings.Builder
+	b := bufio.NewWriter(w)
 	for _, p := range r.Snapshot() {
 		b.WriteString(`{"kind":`)
 		b.WriteString(strconv.Quote(p.Kind))
@@ -286,8 +334,7 @@ func (r *Registry) WriteJSONL(w io.Writer) error {
 		b.WriteString(FormatFloat(p.Value))
 		b.WriteString("}\n")
 	}
-	_, err := io.WriteString(w, b.String())
-	return err
+	return b.Flush()
 }
 
 // FormatFloat renders v with the shortest round-trippable representation,

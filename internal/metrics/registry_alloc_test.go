@@ -1,0 +1,60 @@
+package metrics
+
+import "testing"
+
+// TestRegistryTouchZeroAlloc asserts the interning contract: after a
+// metric's first touch rendered and cached its key, every later touch of
+// the same (name, labels) tuple is allocation-free.
+func TestRegistryTouchZeroAlloc(t *testing.T) {
+	r := NewRegistry("alloc")
+	// First touches render, intern and create the metrics.
+	r.Counter("tasks_total", L("backend", "edge")).Inc()
+	r.Counter("tasks_total", L("backend", "edge"), L("app", "report-gen")).Inc()
+	r.Gauge("queue_depth", L("backend", "edge")).Set(1)
+	r.LatencyHistogram("completion_s", L("backend", "edge")).Observe(0.5)
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"counter one label", func() { r.Counter("tasks_total", L("backend", "edge")).Inc() }},
+		{"counter two labels", func() { r.Counter("tasks_total", L("backend", "edge"), L("app", "report-gen")).Inc() }},
+		{"gauge one label", func() { r.Gauge("queue_depth", L("backend", "edge")).Set(2) }},
+		{"histogram one label", func() { r.LatencyHistogram("completion_s", L("backend", "edge")).Observe(0.25) }},
+		{"counter no labels", func() { r.Counter("plain").Inc() }},
+	}
+	r.Counter("plain").Inc()
+	for _, tc := range cases {
+		if got := testing.AllocsPerRun(100, tc.fn); got != 0 {
+			t.Errorf("%s: %.1f allocs per touch, want 0", tc.name, got)
+		}
+	}
+}
+
+// TestInternedKeysMatchRendered proves the cache returns exactly what
+// Key renders, including the sorted-label canonical form.
+func TestInternedKeysMatchRendered(t *testing.T) {
+	r := NewRegistry("alloc")
+	// Touch with unsorted labels twice: second hit comes from the cache.
+	for i := 0; i < 2; i++ {
+		r.Counter("m", L("z", "1"), L("a", "2")).Inc()
+	}
+	want := Key("m", []Label{L("z", "1"), L("a", "2")})
+	if want != "m{a=2,z=1}" {
+		t.Fatalf("canonical key = %q", want)
+	}
+	if _, ok := r.counters[want]; !ok {
+		t.Fatalf("counter stored under %v, want %q", keysOf(r.counters), want)
+	}
+	if r.counters[want].Value() != 2 {
+		t.Fatalf("cached key hit created a second counter: %v", keysOf(r.counters))
+	}
+}
+
+func keysOf(m map[string]*Counter) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}

@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"strings"
 )
 
@@ -90,10 +92,11 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// CSV renders the table as RFC-4180-ish CSV with a header row. Cells
-// containing commas or quotes are quoted.
-func (t *Table) CSV() string {
-	var b strings.Builder
+// WriteCSV streams the table as RFC-4180-ish CSV with a header row
+// through a buffered writer. Cells containing commas or quotes are
+// quoted.
+func (t *Table) WriteCSV(w io.Writer) error {
+	b := bufio.NewWriter(w)
 	writeRow := func(cells []string) {
 		for i, c := range cells {
 			if i > 0 {
@@ -113,5 +116,13 @@ func (t *Table) CSV() string {
 	for _, row := range t.rows {
 		writeRow(row)
 	}
+	return b.Flush()
+}
+
+// CSV renders the table as CSV in memory; WriteCSV is the streaming
+// form and the two produce identical bytes.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	t.WriteCSV(&b)
 	return b.String()
 }

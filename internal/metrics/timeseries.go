@@ -1,10 +1,10 @@
 package metrics
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"strconv"
-	"strings"
 )
 
 // TimeSeries holds periodic samples of a fixed set of columns over
@@ -53,9 +53,11 @@ func (ts *TimeSeries) Row(i int) (t float64, vals []float64) {
 	return ts.rows[i].t, ts.rows[i].vals
 }
 
-// WriteCSV writes the series with a time_s,<columns...> header.
+// WriteCSV writes the series with a time_s,<columns...> header, rows
+// streamed through a buffered writer so a long run never materialises
+// its whole export in memory.
 func (ts *TimeSeries) WriteCSV(w io.Writer) error {
-	var b strings.Builder
+	b := bufio.NewWriter(w)
 	b.WriteString("time_s")
 	for _, c := range ts.cols {
 		b.WriteByte(',')
@@ -70,14 +72,13 @@ func (ts *TimeSeries) WriteCSV(w io.Writer) error {
 		}
 		b.WriteByte('\n')
 	}
-	_, err := io.WriteString(w, b.String())
-	return err
+	return b.Flush()
 }
 
 // WriteJSONL writes one JSON object per sample, keyed by column name plus
-// a leading "time_s".
+// a leading "time_s", streamed through a buffered writer.
 func (ts *TimeSeries) WriteJSONL(w io.Writer) error {
-	var b strings.Builder
+	b := bufio.NewWriter(w)
 	for _, r := range ts.rows {
 		b.WriteString(`{"time_s":`)
 		b.WriteString(FormatFloat(r.t))
@@ -89,6 +90,5 @@ func (ts *TimeSeries) WriteJSONL(w io.Writer) error {
 		}
 		b.WriteString("}\n")
 	}
-	_, err := io.WriteString(w, b.String())
-	return err
+	return b.Flush()
 }

@@ -18,7 +18,7 @@ type flow struct {
 	dir           Direction
 	degraded      bool
 	done          func(Report)
-	ev            *sim.Event
+	ev            sim.EventRef
 }
 
 // sharedLink is the per-direction processor-sharing state.
@@ -52,9 +52,7 @@ func (s *sharedLink) reschedule() {
 	}
 	per := s.path.bandwidth(s.dir) / float64(n)
 	for _, f := range s.flows {
-		if f.ev != nil {
-			eng.Cancel(f.ev)
-		}
+		eng.Cancel(f.ev)
 		f := f
 		f.ev = eng.After(sim.Duration(f.remainingBits/per), func() { s.complete(f) })
 	}

@@ -26,7 +26,7 @@ type Batcher struct {
 
 type batchQueue struct {
 	tasks []*model.Task
-	timer *sim.Event
+	timer sim.EventRef
 }
 
 // NewBatcher wraps a scheduler. Size must be positive; maxWait zero means
@@ -70,9 +70,9 @@ func (b *Batcher) Submit(task *model.Task) {
 		b.flush(task.App, q)
 		return
 	}
-	if q.timer == nil && b.maxWait > 0 {
+	if !q.timer.Scheduled() && b.maxWait > 0 {
 		q.timer = env.Eng.After(b.maxWait, func() {
-			q.timer = nil
+			q.timer = sim.EventRef{}
 			if len(q.tasks) > 0 {
 				b.flush(task.App, q)
 			}
@@ -95,10 +95,8 @@ func (b *Batcher) Flush() {
 func (b *Batcher) flush(app string, q *batchQueue) {
 	tasks := q.tasks
 	q.tasks = nil
-	if q.timer != nil {
-		b.sched.env.Eng.Cancel(q.timer)
-		q.timer = nil
-	}
+	b.sched.env.Eng.Cancel(q.timer)
+	q.timer = sim.EventRef{}
 	b.flushes++
 	var runNext func(i int)
 	runNext = func(i int) {

@@ -262,7 +262,7 @@ type taskState struct {
 	inFlight int  // attempts whose outcome has not arrived yet
 	pending  bool // a backoff re-dispatch timer is armed
 	hedges   int  // hedge attempts launched
-	hedgeEv  *sim.Event
+	hedgeEv  sim.EventRef
 
 	settled bool          // winner holds the reported success
 	winner  model.Outcome //
@@ -278,7 +278,7 @@ type attempt struct {
 	isHedge   bool
 	abandoned bool // per-attempt timeout fired
 	launched  sim.Time
-	timeoutEv *sim.Event
+	timeoutEv sim.EventRef
 	traceID   uint64 // span handle when a tracer is attached
 }
 
@@ -342,7 +342,7 @@ func (s *Scheduler) launchAttempt(st *taskState, isHedge bool) {
 // primary target is remote, and the budget allows another hedge.
 func (s *Scheduler) maybeArmHedge(st *taskState) {
 	if !s.res.hedging() || st.placement == model.PlaceLocal ||
-		st.hedgeEv != nil || st.settled || st.failed ||
+		st.hedgeEv.Scheduled() || st.settled || st.failed ||
 		st.hedges >= s.res.maxHedges() {
 		return
 	}
@@ -351,7 +351,7 @@ func (s *Scheduler) maybeArmHedge(st *taskState) {
 		return
 	}
 	st.hedgeEv = s.env.Eng.After(delay, func() {
-		st.hedgeEv = nil
+		st.hedgeEv = sim.EventRef{}
 		if st.settled || st.failed || st.inFlight == 0 {
 			return
 		}
@@ -377,7 +377,7 @@ func (s *Scheduler) hedgeDelay() (sim.Duration, bool) {
 // through the usual retry path (or fails terminally out of attempts).
 func (s *Scheduler) onAttemptTimeout(a *attempt) {
 	st := a.st
-	a.timeoutEv = nil
+	a.timeoutEv = sim.EventRef{}
 	if st.settled || st.failed || a.abandoned {
 		return
 	}
@@ -404,9 +404,9 @@ func (s *Scheduler) onAttemptTimeout(a *attempt) {
 func (s *Scheduler) onAttemptDone(a *attempt, o model.Outcome) {
 	st := a.st
 	st.inFlight--
-	if a.timeoutEv != nil {
+	if a.timeoutEv.Scheduled() {
 		s.env.Eng.Cancel(a.timeoutEv)
-		a.timeoutEv = nil
+		a.timeoutEv = sim.EventRef{}
 	}
 	br := s.breakerFor(a.placement)
 	switch {
@@ -515,9 +515,9 @@ func (s *Scheduler) settleIfDrained(st *taskState) {
 		return
 	}
 	st.done = true
-	if st.hedgeEv != nil {
+	if st.hedgeEv.Scheduled() {
 		s.env.Eng.Cancel(st.hedgeEv)
-		st.hedgeEv = nil
+		st.hedgeEv = sim.EventRef{}
 		if s.tr != nil {
 			s.tr.HedgeCanceled(st.task.ID, s.env.Eng.Now())
 		}

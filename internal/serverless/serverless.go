@@ -525,7 +525,7 @@ type Function struct {
 var _ model.Executor = (*Function)(nil)
 
 type container struct {
-	expiry *sim.Event
+	expiry sim.EventRef
 }
 
 // Name returns the function name.

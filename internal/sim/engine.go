@@ -5,10 +5,14 @@
 // virtual clock and a priority queue of pending events; callbacks scheduled
 // for the same instant fire in scheduling order, which makes runs exactly
 // reproducible.
+//
+// The kernel is allocation-free in steady state: fired and cancelled
+// events return to a free list and are reused by later schedules, so a
+// run's allocation count is bounded by its peak number of pending events,
+// not by its total event count.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -32,17 +36,44 @@ func (t Time) Add(d Duration) Time { return t + Time(d) }
 // Sub returns the duration from u to t.
 func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
-// Event is a scheduled callback. It can be cancelled before it fires.
+// Event is a pooled scheduled callback. Events are owned by the engine:
+// once fired or cancelled, the object is recycled for a later schedule.
+// External code never holds an *Event; it holds an EventRef, whose
+// generation stamp keeps a recycled event from being confused with the
+// schedule that originally produced it.
 type Event struct {
-	at      Time
-	seq     uint64
-	fn      func()
-	index   int // heap index, -1 once removed
-	removed bool
+	at    Time
+	seq   uint64
+	fn    func()
+	index int    // position in the heap, -1 while pooled
+	gen   uint64 // bumped on every recycle, invalidating old refs
 }
 
-// Time returns the virtual time the event is scheduled for.
-func (ev *Event) Time() Time { return ev.at }
+// EventRef is a generation-checked handle to a scheduled event. The zero
+// EventRef refers to nothing: Cancel on it is a no-op and Scheduled
+// reports false. Refs are plain values — storing one never allocates.
+type EventRef struct {
+	ev  *Event
+	gen uint64
+}
+
+// Scheduled reports whether the referenced event is still pending: not
+// yet fired and not cancelled.
+func (r EventRef) Scheduled() bool { return r.ev != nil && r.ev.gen == r.gen }
+
+// Time returns the virtual time the event is scheduled for, or zero if
+// the ref no longer refers to a pending event.
+func (r EventRef) Time() Time {
+	if r.Scheduled() {
+		return r.ev.at
+	}
+	return 0
+}
+
+// eventBlock is how many events one pool refill allocates. Block
+// allocation keeps pool growth to one allocation per 256 new events while
+// the pending set is still expanding toward its high-water mark.
+const eventBlock = 256
 
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; construct engines with NewEngine.
@@ -51,7 +82,8 @@ func (ev *Event) Time() Time { return ev.at }
 // design so that runs are deterministic.
 type Engine struct {
 	now    Time
-	queue  eventQueue
+	queue  []*Event // binary min-heap ordered by (at, seq)
+	free   []*Event // recycled events awaiting reuse
 	seq    uint64
 	fired  uint64
 	halted bool
@@ -72,9 +104,33 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // cancelled.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+func (e *Engine) alloc() *Event {
+	if len(e.free) == 0 {
+		blk := make([]Event, eventBlock)
+		for i := range blk {
+			blk[i].index = -1
+			e.free = append(e.free, &blk[i])
+		}
+	}
+	n := len(e.free) - 1
+	ev := e.free[n]
+	e.free[n] = nil
+	e.free = e.free[:n]
+	return ev
+}
+
+// recycle invalidates every outstanding ref to ev and returns it to the
+// pool. The callback is dropped so the pool never pins closures.
+func (e *Engine) recycle(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it would silently reorder causality.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) EventRef {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
@@ -82,43 +138,52 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		panic("sim: scheduling nil callback")
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
-	return ev
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	e.push(ev)
+	return EventRef{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d seconds from now. Negative delays panic.
-func (e *Engine) After(d Duration, fn func()) *Event {
+func (e *Engine) After(d Duration, fn func()) EventRef {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: scheduling event with negative delay %v", d))
 	}
 	return e.At(e.now.Add(d), fn)
 }
 
-// Cancel removes ev from the queue. Cancelling an event that already fired
-// or was already cancelled is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.removed || ev.index < 0 {
+// Cancel removes the referenced event from the queue and recycles it.
+// Cancelling an event that already fired or was already cancelled — or
+// the zero EventRef — is a no-op: the generation check makes a stale ref
+// harmless even after the event object has been reused.
+func (e *Engine) Cancel(ref EventRef) {
+	ev := ref.ev
+	if ev == nil || ev.gen != ref.gen || ev.index < 0 {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.removed = true
+	e.remove(ev.index)
+	e.recycle(ev)
 }
 
 // Halt stops the current Run/RunUntil after the in-flight event completes.
 func (e *Engine) Halt() { e.halted = true }
 
 // Step fires the next pending event, advancing the clock to its time. It
-// returns false if no events remain.
+// returns false if no events remain. The event is recycled before its
+// callback runs, so a callback that schedules new work reuses the object
+// immediately.
 func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	ev.removed = true
+	ev := e.popMin()
 	e.now = ev.at
 	e.fired++
-	ev.fn()
+	fn := ev.fn
+	e.recycle(ev)
+	fn()
 	return true
 }
 
@@ -150,37 +215,101 @@ func (e *Engine) NextEventTime() Time {
 	return e.queue[0].at
 }
 
-// eventQueue is a min-heap of events ordered by (time, sequence) so that
-// same-instant events preserve scheduling order.
-type eventQueue []*Event
+// The queue is a hand-rolled binary min-heap over (at, seq): same-instant
+// events preserve scheduling order. Inlining the sift loops instead of
+// going through container/heap removes an interface dispatch per
+// comparison and the any-boxing on every push/pop.
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func less(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+func (e *Engine) push(ev *Event) {
+	ev.index = len(e.queue)
+	e.queue = append(e.queue, ev)
+	e.up(ev.index)
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+// up sifts the event at i toward the root until its parent is not larger.
+func (e *Engine) up(i int) {
+	q := e.queue
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := q[parent]
+		if !less(ev, p) {
+			break
+		}
+		q[i] = p
+		p.index = i
+		i = parent
+	}
+	q[i] = ev
+	ev.index = i
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+// down sifts the event at i toward the leaves until both children are not
+// smaller.
+func (e *Engine) down(i int) {
+	q := e.queue
+	n := len(q)
+	ev := q[i]
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && less(q[r], q[c]) {
+			c = r
+		}
+		if !less(q[c], ev) {
+			break
+		}
+		q[i] = q[c]
+		q[i].index = i
+		i = c
+	}
+	q[i] = ev
+	ev.index = i
+}
+
+// popMin removes and returns the earliest event.
+func (e *Engine) popMin() *Event {
+	q := e.queue
+	ev := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = nil
+	e.queue = q[:last]
+	if last > 0 {
+		e.queue[0].index = 0
+		e.down(0)
+	}
 	ev.index = -1
-	*q = old[:n-1]
 	return ev
+}
+
+// remove deletes the event at heap position i.
+func (e *Engine) remove(i int) {
+	q := e.queue
+	last := len(q) - 1
+	ev := q[i]
+	if i != last {
+		moved := q[last]
+		q[i] = moved
+		moved.index = i
+		q[last] = nil
+		e.queue = q[:last]
+		e.down(i)
+		if moved.index == i {
+			e.up(i)
+		}
+	} else {
+		q[last] = nil
+		e.queue = q[:last]
+	}
+	ev.index = -1
 }

@@ -94,7 +94,7 @@ func TestCancel(t *testing.T) {
 func TestCancelOneOfMany(t *testing.T) {
 	e := NewEngine()
 	var fired []int
-	var events []*Event
+	var events []EventRef
 	for i := 0; i < 5; i++ {
 		i := i
 		events = append(events, e.After(Duration(i+1), func() { fired = append(fired, i) }))
@@ -203,5 +203,175 @@ func TestFiredAndPendingCounts(t *testing.T) {
 	e.RunUntil(2)
 	if e.Fired() != 2 || e.Pending() != 2 {
 		t.Fatalf("Fired=%d Pending=%d, want 2/2", e.Fired(), e.Pending())
+	}
+}
+
+// TestPooledEventReuse pins down the free-list contract: a cancelled
+// event's object is reused by the next schedule, and the stale ref from
+// the first schedule can neither cancel nor observe the new occupant.
+func TestPooledEventReuse(t *testing.T) {
+	e := NewEngine()
+	firedA, firedB := false, false
+	refA := e.After(1, func() { firedA = true })
+	e.Cancel(refA)
+
+	refB := e.After(2, func() { firedB = true })
+	if refB.ev != refA.ev {
+		t.Fatal("cancelled event was not reused by the next schedule")
+	}
+	if refA.Scheduled() {
+		t.Fatal("stale ref reports Scheduled after its event was recycled")
+	}
+	// The stale ref must not be able to cancel the reused event.
+	e.Cancel(refA)
+	e.Run()
+	if firedA {
+		t.Fatal("cancelled callback fired")
+	}
+	if !firedB {
+		t.Fatal("stale Cancel killed the event that reused the object")
+	}
+}
+
+// TestFiredEventRefGoesStale proves a ref to a fired event is inert: it
+// reports unscheduled and its Cancel cannot touch whatever schedule
+// reuses the object.
+func TestFiredEventRefGoesStale(t *testing.T) {
+	e := NewEngine()
+	ref := e.After(1, func() {})
+	e.Run()
+	if ref.Scheduled() {
+		t.Fatal("ref still Scheduled after its event fired")
+	}
+	fired := false
+	ref2 := e.After(1, func() { fired = true })
+	if ref2.ev != ref.ev {
+		t.Fatal("fired event was not recycled for the next schedule")
+	}
+	e.Cancel(ref) // stale: must be a no-op
+	e.Run()
+	if !fired {
+		t.Fatal("stale Cancel of a fired ref killed the reused event")
+	}
+}
+
+// TestZeroEventRef pins the zero value's behaviour: unscheduled, zero
+// time, Cancel is a no-op.
+func TestZeroEventRef(t *testing.T) {
+	var ref EventRef
+	if ref.Scheduled() {
+		t.Fatal("zero EventRef reports Scheduled")
+	}
+	if ref.Time() != 0 {
+		t.Fatalf("zero EventRef Time = %v", ref.Time())
+	}
+	NewEngine().Cancel(ref)
+}
+
+// TestRefTimeWhilePending covers EventRef.Time on a live event.
+func TestRefTimeWhilePending(t *testing.T) {
+	e := NewEngine()
+	ref := e.After(3, func() {})
+	if ref.Time() != 3 {
+		t.Fatalf("ref.Time() = %v, want 3", ref.Time())
+	}
+}
+
+// TestScheduleFireZeroAlloc asserts the kernel's steady-state contract:
+// once the pool is warm, a schedule+fire cycle performs zero heap
+// allocations.
+func TestScheduleFireZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm the pool and the heap's backing array.
+	for i := 0; i < 512; i++ {
+		e.After(1, fn)
+		e.Step()
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		e.After(1, fn)
+		e.Step()
+	}); got != 0 {
+		t.Fatalf("schedule+fire allocates %.1f times per op, want 0", got)
+	}
+}
+
+// TestScheduleCancelZeroAlloc is the same contract for the cancel path.
+func TestScheduleCancelZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 512; i++ {
+		e.Cancel(e.After(1, fn))
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		e.Cancel(e.After(1, fn))
+	}); got != 0 {
+		t.Fatalf("schedule+cancel allocates %.1f times per op, want 0", got)
+	}
+}
+
+// TestCancelStressAgainstModel drives random schedule/cancel/step
+// sequences and checks the surviving callbacks fire in exactly the order
+// a sorted reference model predicts.
+func TestCancelStressAgainstModel(t *testing.T) {
+	// Deterministic xorshift so failures reproduce.
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func(n int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(n))
+	}
+	e := NewEngine()
+	type scheduled struct {
+		id  int
+		at  Time
+		ref EventRef
+	}
+	var live []scheduled
+	var fired []int
+	want := map[int]Time{}
+	id := 0
+	for round := 0; round < 5000; round++ {
+		switch next(3) {
+		case 0, 1: // schedule
+			id++
+			at := e.Now().Add(Duration(next(50)) / 10)
+			me := id
+			ref := e.At(at, func() { fired = append(fired, me) })
+			live = append(live, scheduled{id: me, at: at, ref: ref})
+			want[me] = at
+		case 2: // cancel a random ref (may be stale after firing: must be safe)
+			if len(live) > 0 {
+				i := next(len(live))
+				if live[i].ref.Scheduled() {
+					// A live schedule: cancelling it removes it from the
+					// expected firing set.
+					delete(want, live[i].id)
+				}
+				e.Cancel(live[i].ref)
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		if next(4) == 0 {
+			e.Step()
+		}
+	}
+	e.Run()
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(want))
+	}
+	seen := map[int]bool{}
+	last := Time(-1)
+	for _, f := range fired {
+		at, ok := want[f]
+		if !ok || seen[f] {
+			t.Fatalf("event %d fired but was cancelled or duplicated", f)
+		}
+		seen[f] = true
+		if at < last {
+			t.Fatalf("event %d fired at %v after an event at %v", f, at, last)
+		}
+		last = at
 	}
 }

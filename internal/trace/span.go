@@ -118,6 +118,17 @@ type SpanRecorder struct {
 	roots    map[uint64]uint64   // trace → reserved root span id
 	attempts map[uint64]int      // trace → attempts started so far
 	byTrace  map[uint64][]uint64 // trace → attempt span ids, start order
+
+	// freeIDs pools the per-trace attempt-id slices: a settled task's
+	// slice is recycled for the next task instead of allocating, so
+	// steady-state recording stops paying one slice per task.
+	freeIDs [][]uint64
+
+	// Bounded mode (see Bound): limit > 0 caps retained spans by
+	// compacting away the oldest settled-trace spans; dropped counts the
+	// casualties.
+	limit   int
+	dropped uint64
 }
 
 // NewSpanRecorder returns an empty recorder.
@@ -135,6 +146,55 @@ func NewSpanRecorder() *SpanRecorder {
 func (r *SpanRecorder) SetMeta(run, policy string) {
 	r.run = run
 	r.policy = policy
+}
+
+// Bound puts the recorder into bounded mode: it retains at most roughly
+// 2×maxSpans spans, compacting away the oldest settled-task spans once
+// the buffer fills (spans of still-open tasks are always kept, whatever
+// their age). Million-task runs then record at a flat memory footprint
+// instead of retaining every span tree. Dropped reports how many spans
+// compaction discarded. maxSpans must be positive; call before recording.
+//
+// The default (unbounded) recorder retains everything and its output is
+// unaffected by this feature existing.
+func (r *SpanRecorder) Bound(maxSpans int) {
+	if maxSpans <= 0 {
+		panic("trace: Bound with non-positive span limit")
+	}
+	r.limit = maxSpans
+}
+
+// Dropped returns how many spans bounded-mode compaction has discarded.
+func (r *SpanRecorder) Dropped() uint64 { return r.dropped }
+
+// compact drops the oldest settled-trace spans down to the bound,
+// keeping every span of a still-open trace and the newest limit spans.
+// It runs only when bounded mode is on and the buffer hit 2×limit, so
+// the cost amortises to O(1) per recorded span.
+func (r *SpanRecorder) compact() {
+	keepFrom := len(r.spans) - r.limit
+	w := 0
+	for i := range r.spans {
+		sp := r.spans[i]
+		_, open := r.roots[sp.Trace]
+		if i >= keepFrom || (sp.Trace != 0 && open) {
+			r.spans[w] = sp
+			w++
+		} else {
+			r.dropped++
+		}
+	}
+	r.spans = r.spans[:w]
+	// Surviving spans moved; re-anchor the open attempts' index map.
+	clear(r.byID)
+	for i := range r.spans {
+		sp := &r.spans[i]
+		if sp.Name == SpanAttempt {
+			if _, open := r.roots[sp.Trace]; open {
+				r.byID[sp.ID] = i
+			}
+		}
+	}
 }
 
 // Len returns the number of spans recorded so far.
@@ -171,7 +231,14 @@ func (r *SpanRecorder) AttemptStart(task *model.Task, placement model.Placement,
 	r.attempts[trace]++
 	id := r.id()
 	r.byID[id] = len(r.spans)
-	r.byTrace[trace] = append(r.byTrace[trace], id)
+	ids, ok := r.byTrace[trace]
+	if !ok && len(r.freeIDs) > 0 {
+		// First attempt of this trace: adopt a settled trace's slice
+		// instead of growing a fresh one.
+		ids = r.freeIDs[len(r.freeIDs)-1]
+		r.freeIDs = r.freeIDs[:len(r.freeIDs)-1]
+	}
+	r.byTrace[trace] = append(ids, id)
 	r.spans = append(r.spans, Span{
 		ID: id, Trace: trace, Parent: root,
 		Name: SpanAttempt, Backend: placement.String(),
@@ -300,13 +367,21 @@ func (r *SpanRecorder) TaskDone(o model.Outcome, at sim.Time) {
 	})
 
 	// The task settled and every attempt drained (the scheduler only
-	// reports drained tasks), so its bookkeeping can go.
-	for _, id := range r.byTrace[trace] {
-		delete(r.byID, id)
+	// reports drained tasks), so its bookkeeping can go. The attempt-id
+	// slice returns to the pool for the next trace.
+	if ids, ok := r.byTrace[trace]; ok {
+		for _, id := range ids {
+			delete(r.byID, id)
+		}
+		r.freeIDs = append(r.freeIDs, ids[:0])
 	}
 	delete(r.byTrace, trace)
 	delete(r.roots, trace)
 	delete(r.attempts, trace)
+
+	if r.limit > 0 && len(r.spans) > 2*r.limit {
+		r.compact()
+	}
 }
 
 // emitGaps walks the task's attempt intervals in start order and emits a
