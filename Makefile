@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt race fuzz ci determinism metrics-golden spans-golden golden offbench-bin bench bench-micro bench-json bench-gate bench-full results examples clean
+.PHONY: all build test vet fmt race fuzz chaos ci determinism metrics-golden spans-golden golden offbench-bin bench bench-micro bench-json bench-gate bench-full results examples clean
 
 # The offbench binary shared by the determinism and golden targets; built
 # once per make invocation instead of once per target.
@@ -56,6 +56,16 @@ determinism: offbench-bin
 	rm -rf /tmp/offbench-golden
 	$(OFFBENCH_BIN) -scale quick -csv -seed 1 -parallel 4 -quiet -out /tmp/offbench-golden > /dev/null
 	diff -ru results/golden /tmp/offbench-golden
+	$(OFFBENCH_BIN) -scale quick -csv -seed 1 -exp E20 -parallel 1 -quiet > /tmp/offbench-e20-serial.txt
+	$(OFFBENCH_BIN) -scale quick -csv -seed 1 -exp E20 -parallel 4 -quiet > /tmp/offbench-e20-parallel.txt
+	cmp /tmp/offbench-e20-serial.txt /tmp/offbench-e20-parallel.txt
+
+# The chaos drill: both failure-centric experiments (E17 correlated
+# outages, E20 regional disasters) at quick scale under the race
+# detector, plus the fault and failover unit tests.
+chaos:
+	$(GO) test -race ./internal/fault/ ./internal/sched/
+	$(GO) test -race -run 'TestE17Shape|TestE20Shape' ./internal/exp/
 
 # Prove the -metrics export merges deterministically: serial and parallel
 # runs must produce byte-identical files, and the committed samples (one

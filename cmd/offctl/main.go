@@ -10,6 +10,7 @@
 //	offctl partition -app video-transcode      # partition only
 //	offctl templates                           # list built-in templates
 //	offctl policies                            # list placement policy names
+//	offctl faults -config faults.json          # print composed fault stacks
 //	offctl export -app report-gen              # dump a template's JSON spec
 //	offctl trace analyze spans.jsonl           # critical-path attribution + waste
 //	offctl trace chrome spans.jsonl out.json   # convert to Chrome trace format
@@ -54,6 +55,11 @@ func main() {
 	switch cmd {
 	case "trace":
 		if err := runTrace(os.Args[2:], os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	case "faults":
+		if err := runFaults(os.Args[2:], os.Stdout); err != nil {
 			fail(err)
 		}
 		return
@@ -342,6 +348,7 @@ commands:
   simulate    plan, deploy and execute one run end to end
   templates   list built-in application templates
   policies    list placement policy names (static + adaptive)
+  faults      print the composed fault-injector stack per backend
   trace       analyze a span archive (critical-path attribution, waste)
               or convert it to Chrome trace format`)
 	os.Exit(2)

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -50,5 +52,50 @@ func TestLoadGraphErrors(t *testing.T) {
 	}
 	if _, err := loadGraph("", "/does/not/exist.json"); err == nil {
 		t.Error("missing spec file accepted")
+	}
+}
+
+func TestFaultsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runFaults([]string{"-config", "testdata/faults.json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/faults.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("faults output drifted from golden:\n%s", buf.String())
+	}
+}
+
+func TestFaultsErrors(t *testing.T) {
+	write := func(body string) string {
+		path := filepath.Join(t.TempDir(), "faults.json")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"unknown field", `{"Typo": 1}`},
+		{"invalid fault config", `{"Fault": {"FailureRate": 2}}`},
+		{"unnamed schedule", `{"Regions": {"VM": "west", "Schedules": [{"Outages": [{"Start": 1, "Duration": 1}]}]}}`},
+		{"orphan schedule", `{"Regions": {"VM": "west", "Schedules": [{"Region": "east", "Outages": [{"Start": 1, "Duration": 1}]}]}}`},
+		{"duplicate schedule", `{"Regions": {"VM": "west", "Schedules": [
+			{"Region": "west", "Outages": [{"Start": 1, "Duration": 1}]},
+			{"Region": "west", "Outages": [{"Start": 5, "Duration": 1}]}]}}`},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if err := runFaults([]string{"-config", write(c.body)}, &buf); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if err := runFaults([]string{}, io.Discard); err == nil {
+		t.Error("missing -config accepted")
 	}
 }

@@ -120,6 +120,7 @@ const (
 	EventDriftReset = "drift_reset" // detector fired; subject = backend
 	EventResize     = "resize"      // tuner re-deployed; subject = app
 	EventLocalize   = "localize"    // admission breaker tripped; subject = reason
+	EventRegion     = "region"      // failover region transition; subject = region:down|up
 )
 
 // Controller is the adaptive layer as a placement policy. With a bandit
@@ -137,16 +138,18 @@ type Controller struct {
 
 	tr Tracer
 
-	decisions   map[model.Placement]uint64
-	last        model.Placement
-	haveLast    bool
-	switches    uint64
-	driftResets uint64
-	armsCleared uint64
+	decisions    map[model.Placement]uint64
+	last         model.Placement
+	haveLast     bool
+	switches     uint64
+	driftResets  uint64
+	armsCleared  uint64
+	regionResets uint64
 }
 
 var _ sched.Policy = (*Controller)(nil)
 var _ sched.FeedbackPolicy = (*Controller)(nil)
+var _ sched.RegionAwarePolicy = (*Controller)(nil)
 
 // NewBandit returns a bandit-driven controller. src feeds every random
 // draw the controller will ever make; both kinds consume the source
@@ -278,6 +281,37 @@ func (c *Controller) feedDrift(o model.Outcome, now sim.Time) {
 	c.event(EventDriftReset, o.Placement.String(), now)
 }
 
+// ObserveRegion implements sched.RegionAwarePolicy: a region dying is a
+// regime change far sharper than per-outcome drift statistics can see, so
+// the controller resets every dead placement's bandit arm and drift
+// detector immediately — the bandit re-learns from the survivors and
+// rediscovers the region after recovery instead of trusting stale means.
+// Recovery resets the arms again: post-incident latencies are a new
+// regime too.
+func (c *Controller) ObserveRegion(region string, placements []model.Placement, down bool, now sim.Time) {
+	c.regionResets++
+	for _, p := range placements {
+		if c.bandit != nil {
+			c.armsCleared += uint64(c.bandit.resetArm(p))
+		}
+		if d, ok := c.drift[p]; ok {
+			d.Reset()
+		}
+	}
+	if c.tuner != nil {
+		c.tuner.forceRetune = true
+	}
+	status := ":up"
+	if down {
+		status = ":down"
+	}
+	c.event(EventRegion, region+status, now)
+}
+
+// RegionResets returns how many region transitions the controller
+// received from the failover layer.
+func (c *Controller) RegionResets() uint64 { return c.regionResets }
+
 // reward maps a settled outcome into [0, 1]: failures earn nothing;
 // otherwise the normalized latency+spend score is squashed by 1/(1+score).
 func (c *Controller) reward(o model.Outcome) float64 {
@@ -348,6 +382,9 @@ func (c *Controller) FillRegistry(reg *metrics.Registry) {
 	reg.Counter("adapt_switches").Add(float64(c.switches))
 	reg.Counter("adapt_drift_resets").Add(float64(c.driftResets))
 	reg.Counter("adapt_arms_cleared").Add(float64(c.armsCleared))
+	if c.regionResets > 0 {
+		reg.Counter("adapt_region_resets").Add(float64(c.regionResets))
+	}
 	reg.Counter("adapt_sheds").Add(float64(c.Sheds()))
 	reg.Counter("adapt_admission_trips").Add(float64(c.AdmissionTrips()))
 	reg.Counter("adapt_resizes").Add(float64(c.Resizes()))

@@ -146,6 +146,9 @@ func (f *Fleet) Config() Config { return f.cfg }
 // disables fault injection.
 func (f *Fleet) SetFaultInjector(inj fault.Injector) { f.inj = inj }
 
+// FaultInjector returns the installed fault model, or nil.
+func (f *Fleet) FaultInjector() fault.Injector { return f.inj }
+
 // ExecTime returns the task's single-core run time on this hardware.
 func (f *Fleet) ExecTime(task *model.Task) sim.Duration {
 	return sim.Duration(task.Cycles / f.cfg.CPUHz)

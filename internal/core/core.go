@@ -140,6 +140,49 @@ type Config struct {
 	// Adapt with a non-bandit policy leaves every code path and rng stream
 	// exactly as before.
 	Adapt *adapt.Config
+
+	// Regions homes each remote substrate in a named region and enables
+	// the regional fault/failover machinery. Strictly opt-in: nil leaves
+	// every code path and rng stream exactly as before.
+	Regions *RegionsConfig
+}
+
+// RegionsConfig places the remote substrates on a map of named regions,
+// attaches correlated regional fault schedules, and (optionally) turns on
+// the scheduler's failover layer. Empty region names leave that substrate
+// region-less.
+type RegionsConfig struct {
+	// Edge, Serverless and VM name the region each substrate is homed in.
+	Edge       string
+	Serverless string
+	VM         string
+
+	// Link models the inter-region backbone re-homed state crosses. The
+	// zero value takes model.DefaultInterRegionLink.
+	Link model.InterRegionLink
+
+	// Schedules lists correlated fault schedules, one per region. Every
+	// substrate homed in a scheduled region gets a regional injector
+	// (chained in front of its own fault model) built from the schedule.
+	Schedules []fault.RegionSchedule
+
+	// Failover, when non-nil, enables the scheduler's regional failover
+	// layer (see sched.Failover); its Regions map and Link are filled in
+	// from this config when left unset.
+	Failover *sched.Failover
+}
+
+// regionOf returns the configured region of a placement ("" = none).
+func (rc *RegionsConfig) regionOf(p model.Placement) string {
+	switch p {
+	case model.PlaceEdge:
+		return rc.Edge
+	case model.PlaceFunction:
+		return rc.Serverless
+	case model.PlaceVM:
+		return rc.VM
+	}
+	return ""
 }
 
 // DefaultConfig is a smartphone on WiFi/LAN with every substrate present
@@ -271,6 +314,23 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Resilience != nil {
 		opts = append(opts, sched.WithResilience(*cfg.Resilience))
 	}
+	if cfg.Regions != nil && cfg.Regions.Failover != nil {
+		// Failover draws no randomness; only the regional injectors below
+		// consume new splits.
+		fo := *cfg.Regions.Failover
+		if fo.Regions == nil {
+			fo.Regions = map[model.Placement]string{}
+			for _, p := range model.AllPlacements() {
+				if name := cfg.Regions.regionOf(p); name != "" {
+					fo.Regions[p] = name
+				}
+			}
+		}
+		if fo.Link == (model.InterRegionLink{}) {
+			fo.Link = cfg.Regions.Link
+		}
+		opts = append(opts, sched.WithFailover(fo))
+	}
 	s, err := sched.New(env, policy, pred, opts...)
 	if err != nil {
 		return nil, err
@@ -325,7 +385,70 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		env.VM.SetFaultInjector(inj)
 	}
+	if cfg.Regions != nil {
+		if err := installRegions(sys, src, cfg.Regions); err != nil {
+			return nil, err
+		}
+	}
 	return sys, nil
+}
+
+// installRegions chains a regional fault injector in front of each
+// substrate homed in a scheduled region. Substrates are visited in
+// canonical placement order, one rng split per (substrate, schedule)
+// pair, and these splits come after every other split NewSystem makes —
+// so configurations without Regions keep byte-identical streams.
+func installRegions(sys *System, src *rng.Source, rc *RegionsConfig) error {
+	byRegion := make(map[string]fault.RegionSchedule, len(rc.Schedules))
+	for _, sch := range rc.Schedules {
+		if err := sch.Validate(); err != nil {
+			return err
+		}
+		if _, dup := byRegion[sch.Region]; dup {
+			return fmt.Errorf("core: duplicate region schedule for %q", sch.Region)
+		}
+		byRegion[sch.Region] = sch
+	}
+	used := make(map[string]bool, len(byRegion))
+	env := sys.Env
+	for _, p := range model.AllPlacements() {
+		name := rc.regionOf(p)
+		if name == "" {
+			continue
+		}
+		switch {
+		case p == model.PlaceEdge && env.Edge == nil:
+			return fmt.Errorf("core: Regions.Edge %q named without an edge site", name)
+		case p == model.PlaceFunction && env.Functions == nil:
+			return fmt.Errorf("core: Regions.Serverless %q named without serverless", name)
+		case p == model.PlaceVM && env.VM == nil:
+			return fmt.Errorf("core: Regions.VM %q named without a VM fleet", name)
+		}
+		sch, ok := byRegion[name]
+		if !ok {
+			continue // a region without a schedule is simply healthy
+		}
+		used[name] = true
+		rinj, err := fault.New(src.Split(), sch.Config())
+		if err != nil {
+			return err
+		}
+		switch p {
+		case model.PlaceEdge:
+			env.Edge.SetFaultInjector(fault.Chain(rinj, env.Edge.FaultInjector()))
+		case model.PlaceFunction:
+			pl := sys.Platform()
+			pl.SetFaultInjector(fault.Chain(rinj, pl.FaultInjector()))
+		case model.PlaceVM:
+			env.VM.SetFaultInjector(fault.Chain(rinj, env.VM.FaultInjector()))
+		}
+	}
+	for _, sch := range rc.Schedules {
+		if !used[sch.Region] {
+			return fmt.Errorf("core: region schedule for %q matches no substrate", sch.Region)
+		}
+	}
+	return nil
 }
 
 // buildPolicy resolves the configured policy, constructing the adaptive
@@ -413,6 +536,12 @@ func (s *System) Run() {
 		s.Batcher.Flush()
 	}
 	s.drain()
+	// Tasks still parked in the failover wait queue when the event queue
+	// empties would never run (the outage outlasted the workload): the
+	// ladder localizes them instead of dropping them.
+	for s.Scheduler.FlushFailover() > 0 {
+		s.drain()
+	}
 }
 
 // drain runs the event queue to empty, interleaving observer samples when

@@ -7,7 +7,10 @@ import (
 
 // observeColumns is the fixed column set every observer samples. Substrates
 // absent from the configuration report zero, so every export has the same
-// shape and a reader never has to sniff headers.
+// shape and a reader never has to sniff headers. Systems with the
+// failover layer on append two extra columns (healthy_regions,
+// degradation_mode) — conditionally, so exports from every pre-existing
+// configuration keep their exact historical shape.
 var observeColumns = []string{
 	"tasks_completed",
 	"tasks_failed",
@@ -52,11 +55,15 @@ func (s *System) Observe(name string, every sim.Duration) *Observer {
 	if s.observer != nil {
 		panic("core: system already has an observer")
 	}
+	cols := observeColumns
+	if s.Scheduler.HasFailover() {
+		cols = append(append([]string(nil), cols...), "healthy_regions", "degradation_mode")
+	}
 	o := &Observer{
 		sys:    s,
 		every:  every,
 		next:   sim.Time(0).Add(every),
-		series: metrics.NewTimeSeries(name, observeColumns...),
+		series: metrics.NewTimeSeries(name, cols...),
 	}
 	s.observer = o
 	return o
@@ -128,6 +135,13 @@ func (o *Observer) sample() {
 		float64(s.Env.Device.Backlog()),
 		s.Env.Device.BatteryRemainingJ(),
 	)
+	if s.Scheduler.HasFailover() {
+		healthy, _ := s.Scheduler.HealthyRegions()
+		vals = append(vals,
+			float64(healthy),
+			float64(s.Scheduler.DegradationMode()),
+		)
+	}
 	o.series.Record(float64(s.Eng.Now()), vals...)
 }
 
@@ -186,6 +200,32 @@ func (s *System) Registry(name string) *metrics.Registry {
 	// non-adaptive configurations keep their exact historical shape.
 	if s.adapt != nil {
 		s.adapt.FillRegistry(reg)
+	}
+
+	// Failover-layer state likewise appears only when the layer is on.
+	if s.Scheduler.HasFailover() {
+		fs := s.Scheduler.FailoverStats()
+		reg.Counter("failover_shed").Add(float64(fs.Shed))
+		reg.Counter("failover_queued").Add(float64(fs.Queued))
+		reg.Counter("failover_rehomed").Add(float64(fs.ReHomed))
+		reg.Counter("failover_localized").Add(float64(fs.Localized))
+		reg.Counter("failover_lost").Add(float64(fs.Lost))
+		reg.Counter("failover_probes").Add(float64(fs.Probes))
+		reg.Counter("failover_transfer_usd").Add(fs.StateTransferUSD)
+		reg.Counter("degraded_seconds").Add(s.Scheduler.DegradedSeconds())
+		reg.Gauge("degradation_mode").Set(float64(s.Scheduler.DegradationMode()))
+		for _, rs := range s.Scheduler.RegionSnapshots() {
+			l := metrics.L("region", rs.Name)
+			health := 1.0
+			if rs.Down {
+				health = 0
+			}
+			reg.Gauge("region_health", l).Set(health)
+			reg.Counter("region_downs", l).Add(float64(rs.Downs))
+			reg.Counter("region_down_seconds", l).Add(rs.DownSeconds)
+			reg.Counter("region_mttd_s", l).Add(rs.MTTDSeconds)
+			reg.Counter("region_mttr_s", l).Add(rs.MTTRSeconds)
+		}
 	}
 
 	// The completion-time distribution merges observation-wise, so

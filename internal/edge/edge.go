@@ -103,6 +103,9 @@ func (c *Cluster) Config() Config { return c.cfg }
 // disables fault injection.
 func (c *Cluster) SetFaultInjector(inj fault.Injector) { c.inj = inj }
 
+// FaultInjector returns the installed fault model, or nil.
+func (c *Cluster) FaultInjector() fault.Injector { return c.inj }
+
 // ExecTime returns the task's single-core run time on this hardware.
 func (c *Cluster) ExecTime(task *model.Task) sim.Duration {
 	return sim.Duration(task.Cycles / c.cfg.CPUHz)

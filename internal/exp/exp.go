@@ -1,4 +1,4 @@
-// Package exp implements the evaluation suite E1–E19 defined in DESIGN.md.
+// Package exp implements the evaluation suite E1–E20 defined in DESIGN.md.
 // The published paper is a doctoral-symposium abstract with no tables or
 // figures, so these experiments ARE the reproduction target: each one
 // exercises a specific claim of the abstract, and EXPERIMENTS.md records
@@ -82,6 +82,7 @@ func Registry() []Experiment {
 		{ID: "E17", Claim: "client-side resilience absorbs correlated cloud outages", Run: E17Resilience},
 		{ID: "E18", Claim: "span-level attribution explains completion time and accounts every dollar", Run: E18Attribution},
 		{ID: "E19", Claim: "online adaptation tracks regime drift within bounded regret of the static-best oracle", Run: E19Adaptive},
+		{ID: "E20", Claim: "regional failover with graceful degradation survives disasters fail-fast cannot", Run: E20Failover},
 	}
 	for i := range reg {
 		reg[i].Seq = i

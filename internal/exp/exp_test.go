@@ -53,8 +53,8 @@ func num(t *testing.T, cell string) float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 19 {
-		t.Fatalf("registry has %d experiments, want 19", len(reg))
+	if len(reg) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {
@@ -757,5 +757,70 @@ func TestE19Shape(t *testing.T) {
 	}
 	if worstBandit >= bestStatic {
 		t.Errorf("bandit total %.3f does not beat best static %.3f", worstBandit, bestStatic)
+	}
+}
+
+func TestE20Shape(t *testing.T) {
+	tables, err := E20Failover(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("E20 produced %d tables, want 1", len(tables))
+	}
+	header, data := rows(t, tables[0])
+	if len(data) != 12 { // 3 scenarios × 4 strategies
+		t.Fatalf("E20 has %d rows, want 12", len(data))
+	}
+	scenario := col(t, header, "scenario")
+	strategy := col(t, header, "strategy")
+	fail := col(t, header, "task_fail")
+	lost := col(t, header, "lost")
+	mttr := col(t, header, "mttr_s")
+	get := func(sc, st string) []string {
+		for _, r := range data {
+			if r[scenario] == sc && r[strategy] == st {
+				return r
+			}
+		}
+		t.Fatalf("no row %s/%s", sc, st)
+		return nil
+	}
+
+	// The headline claim: in the single-region outage, fail-fast loses a
+	// visible share of the workload while the ladder posture loses none —
+	// the incident becomes shed/queued work instead of failures.
+	if ff := num(t, get("region-outage", "fail-fast")[fail]); ff <= 5 {
+		t.Errorf("fail-fast lost only %.1f%% in the region outage, want > 5%%", ff)
+	}
+	ladder := get("region-outage", "ladder")
+	if v := num(t, ladder[fail]); v != 0 {
+		t.Errorf("ladder posture lost %.1f%% in the region outage, want 0%%", v)
+	}
+	if ladder[lost] != "0" {
+		t.Errorf("ladder posture dropped %s parked tasks, want 0", ladder[lost])
+	}
+
+	// Recovery-time accounting: the adaptive posture's canary probes must
+	// observe the recovery — MTTR positive and within 2× of the outage
+	// window's end.
+	adaptive := get("region-outage", "adaptive")
+	if adaptive[mttr] == "-" {
+		t.Fatal("adaptive posture reports no MTTR for the region outage")
+	}
+	bound := 2 * float64(e20OutageStart.Add(e20OutageLen))
+	if v := num(t, adaptive[mttr]); v <= 0 || v > bound {
+		t.Errorf("adaptive MTTR %.3gs outside (0, %.3gs]", v, bound)
+	}
+
+	// Failover postures never lose tasks in any drill: re-homing, the
+	// ladder and last-resort localization absorb every incident here.
+	for _, r := range data {
+		if r[strategy] == "fail-fast" {
+			continue
+		}
+		if v := num(t, r[fail]); v != 0 {
+			t.Errorf("%s/%s failed %.1f%% of tasks, want 0%%", r[scenario], r[strategy], v)
+		}
 	}
 }

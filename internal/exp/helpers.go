@@ -5,6 +5,7 @@ import (
 
 	"offload/internal/callgraph"
 	"offload/internal/core"
+	"offload/internal/model"
 	"offload/internal/rng"
 	"offload/internal/sched"
 	"offload/internal/sim"
@@ -39,6 +40,17 @@ func runCellAt(s Scale, cfg core.Config, mix []workload.WeightedTemplate, rate f
 	return driveCell(s, sys, mix, rate, startAt)
 }
 
+// runCellTagged is runCell with a per-task tag applied at submission time
+// (E20 uses it to assign priorities deterministically by task ID). A nil
+// tag is identical to runCell.
+func runCellTagged(s Scale, cfg core.Config, mix []workload.WeightedTemplate, rate float64, tag func(*model.Task)) (runResult, error) {
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return runResult{}, err
+	}
+	return driveCellTagged(s, sys, mix, rate, 0, tag)
+}
+
 // runCellSpans is runCell with causal span recording enabled on the cell
 // (used by E18, which needs spans regardless of the Runner's settings).
 // The run name labels the exported span set.
@@ -58,6 +70,13 @@ func runCellSpans(s Scale, name string, cfg core.Config, mix []workload.Weighted
 // driveCell streams s.Tasks tasks of the mix into a built system, runs it
 // to completion, and returns the aggregate.
 func driveCell(s Scale, sys *core.System, mix []workload.WeightedTemplate, rate float64, startAt sim.Time) (runResult, error) {
+	return driveCellTagged(s, sys, mix, rate, startAt, nil)
+}
+
+// driveCellTagged is driveCell with an optional per-task tag applied
+// between generation and submission. A nil tag submits the stream exactly
+// as driveCell does.
+func driveCellTagged(s Scale, sys *core.System, mix []workload.WeightedTemplate, rate float64, startAt sim.Time, tag func(*model.Task)) (runResult, error) {
 	var obs *core.Observer
 	if s.Obs != nil {
 		obs = s.Obs.attach(sys)
@@ -67,12 +86,19 @@ func driveCell(s Scale, sys *core.System, mix []workload.WeightedTemplate, rate 
 		return runResult{}, err
 	}
 	count := s.Tasks
+	submit := sys.Submit
+	if tag != nil {
+		submit = func(t *model.Task) {
+			tag(t)
+			sys.Submit(t)
+		}
+	}
 	if startAt > 0 {
 		sys.Eng.At(startAt, func() {
-			sys.SubmitStream(workload.NewPoisson(sys.Src.Split(), rate), gen, count)
+			workload.Stream(sys.Eng, workload.NewPoisson(sys.Src.Split(), rate), gen, count, submit)
 		})
 	} else {
-		sys.SubmitStream(workload.NewPoisson(sys.Src.Split(), rate), gen, count)
+		workload.Stream(sys.Eng, workload.NewPoisson(sys.Src.Split(), rate), gen, count, submit)
 	}
 	sys.Run()
 	if s.Obs != nil {

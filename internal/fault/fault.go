@@ -10,9 +10,19 @@
 //     invocations crash with BadFailRate, producing the bursty,
 //     correlated outages real platforms exhibit;
 //   - scheduled outage windows — a regional incident of duration D
-//     starting at time T rejects every invocation inside the window;
+//     starting at time T rejects every invocation inside the window,
+//     optionally followed by a recovery ramp during which capacity comes
+//     back server by server instead of all at once;
+//   - brown-out windows — a partial-capacity incident: inside the window
+//     only a Capacity fraction of the substrate survives, so invocations
+//     are rejected with probability 1−Capacity and the survivors run
+//     1/Capacity× slower;
 //   - straggler slowdowns — with probability StragglerProb an invocation
 //     runs slower by a heavy-tailed (Pareto) factor.
+//
+// Regional, correlated failures are expressed by giving every substrate
+// in a region the same schedule (see RegionSchedule) and composing it in
+// front of the substrate's own fault model with Chain.
 //
 // All randomness flows through an injected *rng.Source, so simulations
 // remain byte-deterministic under exp.Runner parallelism.
@@ -60,6 +70,16 @@ type Window struct {
 // End returns the first instant after the outage.
 func (w Window) End() sim.Time { return w.Start.Add(w.Duration) }
 
+// Brownout is one scheduled partial-capacity window: inside it only a
+// Capacity fraction of the substrate is alive, so each invocation is
+// rejected with probability 1−Capacity and the survivors run
+// 1/Capacity× slower on the remaining, oversubscribed units.
+type Brownout struct {
+	Window
+	// Capacity is the surviving fraction of the substrate, in (0, 1).
+	Capacity float64
+}
+
 // Config describes a composite fault model. The zero value injects
 // nothing. Modes compose: an invocation first checks scheduled outages,
 // then the Gilbert–Elliott chain, then the i.i.d. coin, and only
@@ -80,6 +100,17 @@ type Config struct {
 	// sorts them by start time.
 	Outages []Window
 
+	// RecoveryRamp heals each outage gradually instead of instantly: for
+	// this long after an outage window ends, invocations still crash with
+	// a probability that decays linearly from 1 to 0 — the region's
+	// capacity coming back server by server. Zero keeps instant healing.
+	// Requires at least one outage window.
+	RecoveryRamp sim.Duration
+
+	// Brownouts lists scheduled partial-capacity windows. They must not
+	// overlap each other; New sorts them by start time.
+	Brownouts []Brownout
+
 	// StragglerProb slows an invocation down with this probability by a
 	// Pareto(StragglerFactor, StragglerAlpha) multiplier, so the typical
 	// straggler runs StragglerFactor× slower and the tail is heavy.
@@ -91,7 +122,7 @@ type Config struct {
 // Enabled reports whether the configuration injects anything at all.
 func (c Config) Enabled() bool {
 	return c.FailureRate > 0 || c.GoodToBadRate > 0 ||
-		len(c.Outages) > 0 || c.StragglerProb > 0
+		len(c.Outages) > 0 || len(c.Brownouts) > 0 || c.StragglerProb > 0
 }
 
 // Validate reports whether the configuration is usable.
@@ -123,6 +154,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fault: straggler alpha %g not positive", c.StragglerAlpha)
 	case c.StragglerProb == 0 && (c.StragglerFactor != 0 || c.StragglerAlpha != 0):
 		return fmt.Errorf("fault: straggler parameters without a probability")
+	case math.IsNaN(float64(c.RecoveryRamp)) || math.IsInf(float64(c.RecoveryRamp), 0) || c.RecoveryRamp < 0:
+		return fmt.Errorf("fault: recovery ramp %g not finite and non-negative", float64(c.RecoveryRamp))
+	case c.RecoveryRamp > 0 && len(c.Outages) == 0:
+		return fmt.Errorf("fault: recovery ramp without an outage window")
 	}
 	sorted := sortedWindows(c.Outages)
 	for i, w := range sorted {
@@ -131,8 +166,22 @@ func (c Config) Validate() error {
 			return fmt.Errorf("fault: outage window %d (start %g, duration %g) not positive and finite",
 				i, float64(w.Start), float64(w.Duration))
 		}
-		if i > 0 && w.Start < sorted[i-1].End() {
-			return fmt.Errorf("fault: outage windows overlap at %g", float64(w.Start))
+		if i > 0 && w.Start < sorted[i-1].End().Add(c.RecoveryRamp) {
+			return fmt.Errorf("fault: outage windows (including recovery ramps) overlap at %g", float64(w.Start))
+		}
+	}
+	browns := sortedBrownouts(c.Brownouts)
+	for i, b := range browns {
+		if !(b.Start >= 0) || !(b.Duration > 0) ||
+			math.IsInf(float64(b.Start), 0) || math.IsInf(float64(b.Duration), 0) {
+			return fmt.Errorf("fault: brownout window %d (start %g, duration %g) not positive and finite",
+				i, float64(b.Start), float64(b.Duration))
+		}
+		if math.IsNaN(b.Capacity) || b.Capacity <= 0 || b.Capacity >= 1 {
+			return fmt.Errorf("fault: brownout capacity %g outside (0,1)", b.Capacity)
+		}
+		if i > 0 && b.Start < browns[i-1].End() {
+			return fmt.Errorf("fault: brownout windows overlap at %g", float64(b.Start))
 		}
 	}
 	return nil
@@ -145,13 +194,23 @@ func sortedWindows(ws []Window) []Window {
 	return out
 }
 
+func sortedBrownouts(bs []Brownout) []Brownout {
+	out := make([]Brownout, len(bs))
+	copy(out, bs)
+	sort.Slice(out, func(a, b int) bool { return out[a].Start < out[b].Start })
+	return out
+}
+
 // injector is the composite Injector behind New and IID.
 type injector struct {
 	src *rng.Source
 	cfg Config
 
 	outages []Window // sorted by start
-	outIdx  int      // first window whose end is still in the future
+	outIdx  int      // first window whose ramp (end + RecoveryRamp) is still in the future
+
+	brownouts []Brownout // sorted by start
+	boIdx     int        // first brownout whose end is still in the future
 
 	chainInit      bool
 	bad            bool
@@ -170,7 +229,12 @@ func New(src *rng.Source, cfg Config) (Injector, error) {
 	if src == nil {
 		return nil, fmt.Errorf("fault: nil rng source")
 	}
-	return &injector{src: src, cfg: cfg, outages: sortedWindows(cfg.Outages)}, nil
+	return &injector{
+		src:       src,
+		cfg:       cfg,
+		outages:   sortedWindows(cfg.Outages),
+		brownouts: sortedBrownouts(cfg.Brownouts),
+	}, nil
 }
 
 // IID returns an injector with only the memoryless per-invocation failure
@@ -187,15 +251,33 @@ func IID(src *rng.Source, rate float64) Injector {
 }
 
 // Decide implements Injector. Draw order is part of the package contract:
-// scheduled outages consume no randomness; the chain draws its sojourns
-// lazily plus one Bool (and one Float64 on crash) in the Bad state; the
-// i.i.d. mode draws one Bool (and one Float64 on crash); stragglers draw
-// one Bool (and one Pareto variate when slowed).
+// scheduled outages consume no randomness; a recovery ramp draws one Bool
+// while it is live; a brownout draws one Bool (its slowdown is
+// deterministic); the chain draws its sojourns lazily plus one Bool (and
+// one Float64 on crash) in the Bad state; the i.i.d. mode draws one Bool
+// (and one Float64 on crash); stragglers draw one Bool (and one Pareto
+// variate when slowed). Modes left unset draw nothing, so extending a
+// configuration never perturbs the byte stream of the modes it already
+// used.
 func (i *injector) Decide(now sim.Time) Decision {
 	d := Decision{Slowdown: 1}
 	if i.inOutage(now) {
 		d.Crash = true
 		return d
+	}
+	if p := i.rampCrashProb(now); p > 0 && i.src.Bool(p) {
+		// A rejected arrival during the ramp: the instance it hashed to is
+		// not back yet, so the invocation bounces immediately.
+		d.Crash = true
+		return d
+	}
+	if f, ok := i.inBrownout(now); ok {
+		if i.src.Bool(1 - f) {
+			// The invocation landed on lost capacity and bounces.
+			d.Crash = true
+			return d
+		}
+		d.Slowdown = 1 / f
 	}
 	if i.cfg.GoodToBadRate > 0 {
 		i.advanceChain(now)
@@ -211,18 +293,47 @@ func (i *injector) Decide(now sim.Time) Decision {
 		return d
 	}
 	if i.cfg.StragglerProb > 0 && i.src.Bool(i.cfg.StragglerProb) {
-		d.Slowdown = i.src.Pareto(i.cfg.StragglerFactor, i.cfg.StragglerAlpha)
+		d.Slowdown *= i.src.Pareto(i.cfg.StragglerFactor, i.cfg.StragglerAlpha)
 	}
 	return d
 }
 
 // inOutage reports whether now falls inside a scheduled outage window,
-// discarding windows that already ended.
+// discarding windows whose recovery ramp has fully played out.
 func (i *injector) inOutage(now sim.Time) bool {
-	for i.outIdx < len(i.outages) && now >= i.outages[i.outIdx].End() {
+	for i.outIdx < len(i.outages) && now >= i.outages[i.outIdx].End().Add(i.cfg.RecoveryRamp) {
 		i.outIdx++
 	}
-	return i.outIdx < len(i.outages) && now >= i.outages[i.outIdx].Start
+	return i.outIdx < len(i.outages) &&
+		now >= i.outages[i.outIdx].Start && now < i.outages[i.outIdx].End()
+}
+
+// rampCrashProb returns the crash probability of the recovery ramp at
+// now: 1 at the moment an outage window ends, decaying linearly to 0
+// over RecoveryRamp. Zero outside any ramp (or with no ramp configured).
+// Must be called after inOutage, which positions outIdx on the window
+// whose ramp could still be live.
+func (i *injector) rampCrashProb(now sim.Time) float64 {
+	if i.cfg.RecoveryRamp <= 0 || i.outIdx >= len(i.outages) {
+		return 0
+	}
+	end := i.outages[i.outIdx].End()
+	if now < end {
+		return 0
+	}
+	return 1 - float64(now.Sub(end))/float64(i.cfg.RecoveryRamp)
+}
+
+// inBrownout returns the surviving capacity fraction if now falls inside
+// a scheduled brownout window, discarding windows that already ended.
+func (i *injector) inBrownout(now sim.Time) (float64, bool) {
+	for i.boIdx < len(i.brownouts) && now >= i.brownouts[i.boIdx].End() {
+		i.boIdx++
+	}
+	if i.boIdx < len(i.brownouts) && now >= i.brownouts[i.boIdx].Start {
+		return i.brownouts[i.boIdx].Capacity, true
+	}
+	return 0, false
 }
 
 // advanceChain moves the Gilbert–Elliott chain to now, flipping states at

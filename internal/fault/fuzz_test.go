@@ -12,15 +12,20 @@ import (
 // configurations and decision times: any configuration that passes
 // Validate must never panic, never emit a crash fraction outside [0,1),
 // never emit a slowdown below 1, and never slow down a crashed invocation.
+// The corpus spans every mode, including recovery ramps and brownouts,
+// and a regional chain of the same configuration behind a pure window
+// schedule must satisfy the same invariants.
 func FuzzFaultInjector(f *testing.F) {
-	f.Add(uint64(1), 0.1, 0.01, 0.1, 0.5, 0.05, 4.0, 1.5, 20.0, 60.0, 0.7)
-	f.Add(uint64(2), 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 5.0, 1.0)
-	f.Add(uint64(3), 0.99, 1000.0, 1000.0, 1.0, 0.99, 1.0, 0.001, 0.0, 0.0, 1e9)
-	f.Add(uint64(4), 0.5, 1e-9, 1e9, 0.5, 0.0, 0.0, 0.0, 1e6, 1e-9, 1e-9)
+	f.Add(uint64(1), 0.1, 0.01, 0.1, 0.5, 0.05, 4.0, 1.5, 20.0, 60.0, 0.7, 10.0, 200.0, 30.0, 0.3)
+	f.Add(uint64(2), 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 5.0, 1.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(uint64(3), 0.99, 1000.0, 1000.0, 1.0, 0.99, 1.0, 0.001, 0.0, 0.0, 1e9, 0.0, 1.0, 1e6, 0.999)
+	f.Add(uint64(4), 0.5, 1e-9, 1e9, 0.5, 0.0, 0.0, 0.0, 1e6, 1e-9, 1e-9, 1e-9, 0.0, 0.0, 1e-9)
+	f.Add(uint64(5), 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 0.5, 1e9, 8.0, 4.0, 0.5)
 	f.Fuzz(func(t *testing.T, seed uint64,
 		failRate, g2b, b2g, badRate,
 		stragProb, stragFactor, stragAlpha,
-		outStart, outDur, step float64) {
+		outStart, outDur, step,
+		ramp, boStart, boDur, boCap float64) {
 		cfg := Config{
 			FailureRate:   failRate,
 			GoodToBadRate: g2b, BadToGoodRate: b2g, BadFailRate: badRate,
@@ -31,6 +36,13 @@ func FuzzFaultInjector(f *testing.F) {
 				{Start: sim.Time(outStart), Duration: sim.Duration(outDur)},
 				{Start: sim.Time(outStart) + sim.Time(2*outDur), Duration: sim.Duration(outDur)},
 			}
+			cfg.RecoveryRamp = sim.Duration(ramp)
+		}
+		if boDur > 0 {
+			cfg.Brownouts = []Brownout{{
+				Window:   Window{Start: sim.Time(boStart), Duration: sim.Duration(boDur)},
+				Capacity: boCap,
+			}}
 		}
 		if err := cfg.Validate(); err != nil {
 			// Validate must reject exactly what New rejects.
@@ -52,26 +64,42 @@ func FuzzFaultInjector(f *testing.F) {
 		if step < 0 || math.IsNaN(step) || math.IsInf(step, 0) {
 			step = 1
 		}
-		now := sim.Time(0)
-		for i := 0; i < 300; i++ {
-			d := inj.Decide(now)
-			if d.CrashFrac < 0 || d.CrashFrac >= 1 || math.IsNaN(d.CrashFrac) {
-				t.Fatalf("decision %d at %g: crash fraction %g outside [0,1)", i, float64(now), d.CrashFrac)
+		check := func(label string, inj Injector) {
+			now := sim.Time(0)
+			for i := 0; i < 300; i++ {
+				d := inj.Decide(now)
+				if d.CrashFrac < 0 || d.CrashFrac >= 1 || math.IsNaN(d.CrashFrac) {
+					t.Fatalf("%s decision %d at %g: crash fraction %g outside [0,1)", label, i, float64(now), d.CrashFrac)
+				}
+				if d.Slowdown < 1 || math.IsNaN(d.Slowdown) {
+					t.Fatalf("%s decision %d at %g: slowdown %g below 1", label, i, float64(now), d.Slowdown)
+				}
+				if d.Crash && d.Slowdown != 1 {
+					t.Fatalf("%s decision %d at %g: crashed invocation slowed down %g", label, i, float64(now), d.Slowdown)
+				}
+				if !d.Crash && d.CrashFrac != 0 {
+					t.Fatalf("%s decision %d at %g: crash fraction %g without a crash", label, i, float64(now), d.CrashFrac)
+				}
+				next := now.Add(sim.Duration(step))
+				if next < now { // overflow to -Inf or wrap: keep time monotonic
+					break
+				}
+				now = next
 			}
-			if d.Slowdown < 1 || math.IsNaN(d.Slowdown) {
-				t.Fatalf("decision %d at %g: slowdown %g below 1", i, float64(now), d.Slowdown)
-			}
-			if d.Crash && d.Slowdown != 1 {
-				t.Fatalf("decision %d at %g: crashed invocation slowed down %g", i, float64(now), d.Slowdown)
-			}
-			if !d.Crash && d.CrashFrac != 0 {
-				t.Fatalf("decision %d at %g: crash fraction %g without a crash", i, float64(now), d.CrashFrac)
-			}
-			next := now.Add(sim.Duration(step))
-			if next < now { // overflow to -Inf or wrap: keep time monotonic
-				break
-			}
-			now = next
 		}
+		check("plain", inj)
+		// The same configuration behind a regional window schedule (the
+		// shape core.installRegions builds) must hold the same invariants.
+		regional, err := New(rng.New(seed+1), Config{
+			Outages: []Window{{Start: 3, Duration: 4}},
+		})
+		if err != nil {
+			t.Fatalf("regional window schedule rejected: %v", err)
+		}
+		fresh, err := New(rng.New(seed), cfg)
+		if err != nil {
+			t.Fatalf("accepted config rejected on rebuild: %v", err)
+		}
+		check("chained", Chain(regional, fresh))
 	})
 }

@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"offload/internal/sim"
+)
+
+// RegionSchedule is a correlated fault schedule for one named region:
+// every substrate homed in the region shares the same outage windows,
+// recovery ramp and brownouts, so a regional incident takes them down
+// together. Each substrate still gets its own injector (own rng stream)
+// built from Config; the correlation is in the shared schedule, which
+// consumes no randomness for the outage windows themselves.
+type RegionSchedule struct {
+	// Region names the region the schedule applies to.
+	Region string
+	// Outages lists full-region outage windows.
+	Outages []Window
+	// RecoveryRamp heals each outage gradually; see Config.RecoveryRamp.
+	RecoveryRamp sim.Duration
+	// Brownouts lists partial-capacity windows; see Brownout.
+	Brownouts []Brownout
+}
+
+// Config returns the schedule as an injector configuration, ready for New.
+func (rs RegionSchedule) Config() Config {
+	return Config{
+		Outages:      rs.Outages,
+		RecoveryRamp: rs.RecoveryRamp,
+		Brownouts:    rs.Brownouts,
+	}
+}
+
+// Validate reports whether the schedule is usable.
+func (rs RegionSchedule) Validate() error {
+	if rs.Region == "" {
+		return fmt.Errorf("fault: region schedule without a region name")
+	}
+	if !rs.Config().Enabled() {
+		return fmt.Errorf("fault: region schedule for %q injects nothing", rs.Region)
+	}
+	return rs.Config().Validate()
+}
+
+// chain is the composite injector behind Chain.
+type chain struct {
+	injs []Injector
+}
+
+// Chain composes independent injectors into one. Decide consults each
+// injector in order and returns the first crash; surviving slowdowns
+// multiply. The order contract follows from the per-injector draw order:
+// injectors that consume no randomness (pure window schedules, such as a
+// RegionSchedule's outages) commute, but once an injector draws, a crash
+// earlier in the chain short-circuits the draws of everything after it —
+// so chains of drawing injectors are order-dependent by this documented
+// rule. Nil injectors (disabled configs) are dropped; a chain of zero
+// injectors is nil and a chain of one is that injector itself.
+func Chain(injs ...Injector) Injector {
+	live := make([]Injector, 0, len(injs))
+	for _, in := range injs {
+		if in != nil {
+			live = append(live, in)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &chain{injs: live}
+}
+
+// Decide implements Injector: first crash wins, slowdowns multiply.
+func (c *chain) Decide(now sim.Time) Decision {
+	d := Decision{Slowdown: 1}
+	for _, in := range c.injs {
+		step := in.Decide(now)
+		if step.Crash {
+			return Decision{Crash: true, CrashFrac: step.CrashFrac, Slowdown: 1}
+		}
+		d.Slowdown *= step.Slowdown
+	}
+	return d
+}
+
+// Describe renders the configuration's composed injector stack, one line
+// per mode in Decide's draw order, for operator tooling (offctl faults).
+// A disabled configuration describes to nothing.
+func (c Config) Describe() []string {
+	var lines []string
+	add := func(kind, format string, args ...any) {
+		lines = append(lines, fmt.Sprintf("%-10s %s", kind, fmt.Sprintf(format, args...)))
+	}
+	for _, w := range sortedWindows(c.Outages) {
+		if c.RecoveryRamp > 0 {
+			add("outage", "%s ramp=%s", window(w), seconds(sim.Time(c.RecoveryRamp)))
+			continue
+		}
+		add("outage", "%s", window(w))
+	}
+	for _, b := range sortedBrownouts(c.Brownouts) {
+		add("brownout", "%s capacity=%g", window(b.Window), b.Capacity)
+	}
+	if c.GoodToBadRate > 0 {
+		add("chain", "good→bad=%g/s bad→good=%g/s bad_fail=%g",
+			c.GoodToBadRate, c.BadToGoodRate, c.BadFailRate)
+	}
+	if c.FailureRate > 0 {
+		add("iid", "failure_rate=%g", c.FailureRate)
+	}
+	if c.StragglerProb > 0 {
+		add("straggler", "p=%g factor=%g alpha=%g",
+			c.StragglerProb, c.StragglerFactor, c.StragglerAlpha)
+	}
+	return lines
+}
+
+// window renders one schedule window as a half-open interval.
+func window(w Window) string {
+	return fmt.Sprintf("[%s, %s)", seconds(w.Start), seconds(w.End()))
+}
+
+// seconds renders a sim time compactly with an explicit unit.
+func seconds(t sim.Time) string {
+	s := strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", float64(t)), "0"), ".")
+	return s + "s"
+}

@@ -1,0 +1,260 @@
+package fault
+
+import (
+	"testing"
+
+	"offload/internal/rng"
+	"offload/internal/sim"
+)
+
+// decisions samples inj at the given times.
+func decisions(inj Injector, times []sim.Time) []Decision {
+	out := make([]Decision, len(times))
+	for i, at := range times {
+		out[i] = inj.Decide(at)
+	}
+	return out
+}
+
+// sameDecisions compares two decision sequences elementwise.
+func sameDecisions(t *testing.T, label string, a, b []Decision) {
+	t.Helper()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: decision %d differs: %+v vs %+v", label, i, a[i], b[i])
+		}
+	}
+}
+
+// ticks returns n times spaced step apart from 0.
+func ticks(n int, step sim.Duration) []sim.Time {
+	out := make([]sim.Time, n)
+	now := sim.Time(0)
+	for i := range out {
+		out[i] = now
+		now = now.Add(step)
+	}
+	return out
+}
+
+// TestOutageOrderInsensitive is the composition-order property for pure
+// window schedules: the declaration order of outage and brownout windows
+// never changes a decision, because New sorts them and the windows draw
+// no randomness that could go out of sync.
+func TestOutageOrderInsensitive(t *testing.T) {
+	sorted := Config{
+		Outages:   []Window{{Start: 10, Duration: 5}, {Start: 30, Duration: 5}, {Start: 50, Duration: 5}},
+		Brownouts: []Brownout{{Window{Start: 70, Duration: 5}, 0.5}, {Window{Start: 90, Duration: 5}, 0.25}},
+	}
+	shuffled := Config{
+		Outages:   []Window{{Start: 50, Duration: 5}, {Start: 10, Duration: 5}, {Start: 30, Duration: 5}},
+		Brownouts: []Brownout{{Window{Start: 90, Duration: 5}, 0.25}, {Window{Start: 70, Duration: 5}, 0.5}},
+	}
+	a, err := New(rng.New(11), sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(rng.New(11), shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := ticks(200, 0.5)
+	sameDecisions(t, "sorted vs shuffled", decisions(a, times), decisions(b, times))
+}
+
+// TestChainWindowOnlyCommutes pins the documented Chain order contract:
+// injectors that draw no randomness commute.
+func TestChainWindowOnlyCommutes(t *testing.T) {
+	mk := func(cfg Config, seed uint64) Injector {
+		inj, err := New(rng.New(seed), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj
+	}
+	east := Config{Outages: []Window{{Start: 10, Duration: 10}}}
+	west := Config{Outages: []Window{{Start: 40, Duration: 10}}}
+	ab := Chain(mk(east, 1), mk(west, 2))
+	ba := Chain(mk(west, 2), mk(east, 1))
+	times := ticks(120, 0.5)
+	sameDecisions(t, "chain order", decisions(ab, times), decisions(ba, times))
+}
+
+// TestChainShortCircuitPreservesLaterStream pins the other half of the
+// contract: a window crash early in the chain short-circuits the draws
+// of everything after it, so the later injector's rng stream is exactly
+// the stream of a standalone injector consulted only outside the window.
+func TestChainShortCircuitPreservesLaterStream(t *testing.T) {
+	outage := Config{Outages: []Window{{Start: 10, Duration: 10}}}
+	iid := Config{FailureRate: 0.3}
+	oinj, err := New(rng.New(5), outage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chained, err2 := New(rng.New(77), iid)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	alone, err3 := New(rng.New(77), iid)
+	if err3 != nil {
+		t.Fatal(err3)
+	}
+	ch := Chain(oinj, chained)
+	var got, want []Decision
+	for _, at := range ticks(120, 0.5) {
+		d := ch.Decide(at)
+		if at >= 10 && at < 20 {
+			if !d.Crash {
+				t.Fatalf("no crash inside the outage window at %g", float64(at))
+			}
+			continue // the standalone injector is not consulted here
+		}
+		got = append(got, d)
+		want = append(want, alone.Decide(at))
+	}
+	sameDecisions(t, "outside-window stream", got, want)
+}
+
+// TestChainDegenerateForms pins Chain's nil handling.
+func TestChainDegenerateForms(t *testing.T) {
+	if Chain() != nil {
+		t.Error("empty chain not nil")
+	}
+	if Chain(nil, nil) != nil {
+		t.Error("all-nil chain not nil")
+	}
+	inj, err := New(rng.New(1), Config{FailureRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Chain(nil, inj, nil) != inj {
+		t.Error("single-injector chain not the injector itself")
+	}
+}
+
+// TestChainSlowdownsMultiply pins slowdown composition across surviving
+// chain steps.
+func TestChainSlowdownsMultiply(t *testing.T) {
+	a, err := New(rng.New(1), Config{Brownouts: []Brownout{{Window{Start: 0, Duration: 100}, 0.5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err2 := New(rng.New(2), Config{Brownouts: []Brownout{{Window{Start: 0, Duration: 100}, 0.25}}})
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	ch := Chain(a, b)
+	found := false
+	for _, at := range ticks(400, 0.25) {
+		d := ch.Decide(at)
+		if d.Crash {
+			continue
+		}
+		// A double survivor compounds 1/0.5 × 1/0.25 = 8.
+		if d.Slowdown == 8 {
+			found = true
+		}
+		if d.Slowdown != 1 && d.Slowdown != 2 && d.Slowdown != 4 && d.Slowdown != 8 {
+			t.Fatalf("slowdown %g at %g not a product of the step slowdowns", d.Slowdown, float64(at))
+		}
+	}
+	if !found {
+		t.Error("no invocation survived both brownouts with compounded slowdown")
+	}
+}
+
+// TestBrownoutCapacity pins the brownout model: inside the window,
+// roughly Capacity of invocations survive and each survivor runs 1/f
+// slower; outside, nothing happens.
+func TestBrownoutCapacity(t *testing.T) {
+	inj, err := New(rng.New(9), Config{
+		Brownouts: []Brownout{{Window{Start: 10, Duration: 100}, 0.3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed, survived := 0, 0
+	for i := 0; i < 4000; i++ {
+		at := sim.Time(10).Add(sim.Duration(float64(i) * 0.025))
+		d := inj.Decide(at)
+		if d.Crash {
+			crashed++
+			continue
+		}
+		survived++
+		if want := 1 / 0.3; d.Slowdown < want*0.999 || d.Slowdown > want*1.001 {
+			t.Fatalf("survivor slowdown %g, want %g", d.Slowdown, want)
+		}
+	}
+	frac := float64(survived) / float64(crashed+survived)
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("survival fraction %.3f, want ≈ 0.3", frac)
+	}
+	if d := inj.Decide(200); d.Crash || d.Slowdown != 1 {
+		t.Fatalf("decision %+v outside the window, want benign", d)
+	}
+}
+
+// TestRecoveryRampHeals pins the ramp: fully dark inside the window,
+// decaying crash probability inside the ramp, fully healed after it.
+func TestRecoveryRampHeals(t *testing.T) {
+	inj, err := New(rng.New(3), Config{
+		Outages:      []Window{{Start: 10, Duration: 10}},
+		RecoveryRamp: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if d := inj.Decide(sim.Time(10).Add(sim.Duration(float64(i) * 0.1))); !d.Crash {
+			t.Fatal("survivor inside the outage window")
+		}
+	}
+	early, late := 0, 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		// First ramp half [20, 30): crash probability decays 1 → 0.5.
+		if inj.Decide(sim.Time(20).Add(sim.Duration(float64(i) * 0.005))).Crash {
+			early++
+		}
+	}
+	for i := 0; i < n; i++ {
+		// Second half [30, 40): 0.5 → 0.
+		if inj.Decide(sim.Time(30).Add(sim.Duration(float64(i) * 0.005))).Crash {
+			late++
+		}
+	}
+	if early <= late {
+		t.Fatalf("ramp not decaying: %d crashes early vs %d late", early, late)
+	}
+	if frac := float64(early+late) / (2 * n); frac < 0.4 || frac > 0.6 {
+		t.Fatalf("mean ramp crash rate %.3f, want ≈ 0.5", frac)
+	}
+	for i := 0; i < 200; i++ {
+		if d := inj.Decide(sim.Time(40).Add(sim.Duration(float64(i)))); d.Crash {
+			t.Fatal("crash after the ramp fully healed")
+		}
+	}
+}
+
+// TestRegionScheduleValidate pins the schedule-level validation.
+func TestRegionScheduleValidate(t *testing.T) {
+	if err := (RegionSchedule{Region: "", Outages: []Window{{Start: 0, Duration: 1}}}).Validate(); err == nil {
+		t.Error("unnamed schedule accepted")
+	}
+	if err := (RegionSchedule{Region: "east"}).Validate(); err == nil {
+		t.Error("schedule injecting nothing accepted")
+	}
+	if err := (RegionSchedule{Region: "east", RecoveryRamp: 5}).Validate(); err == nil {
+		t.Error("ramp without outages accepted")
+	}
+	good := RegionSchedule{
+		Region:       "east",
+		Outages:      []Window{{Start: 0, Duration: 1}},
+		RecoveryRamp: 5,
+		Brownouts:    []Brownout{{Window{Start: 20, Duration: 5}, 0.5}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+}

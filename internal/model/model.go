@@ -92,7 +92,20 @@ type Task struct {
 	// Zero means "no deadline" (fully delay tolerant).
 	Deadline  sim.Duration
 	Submitted sim.Time
+
+	// Priority classes the task for degraded-mode scheduling: negative is
+	// load-sheddable background work, zero (the default) is normal, and
+	// positive is critical work that must keep running even if that means
+	// executing locally. Healthy systems ignore it.
+	Priority int
 }
+
+// Priority classes for Task.Priority.
+const (
+	PriorityLow      = -1
+	PriorityNormal   = 0
+	PriorityCritical = 1
+)
 
 // Validate reports whether the task is internally consistent.
 func (t *Task) Validate() error {

@@ -1,0 +1,307 @@
+package sched
+
+import (
+	"testing"
+
+	"offload/internal/fault"
+	"offload/internal/model"
+	"offload/internal/rng"
+	"offload/internal/sim"
+)
+
+// twoRegionEnv is testEnv with an outage schedule installed on the
+// serverless platform; tests home it in "east" and the VM in "west".
+func twoRegionEnv(t *testing.T, outages ...fault.Window) *Env {
+	t.Helper()
+	env := testEnv(t)
+	if len(outages) > 0 {
+		inj, err := fault.New(rng.New(7), fault.Config{Outages: outages})
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.Functions.Platform().SetFaultInjector(inj)
+	}
+	return env
+}
+
+func twoRegionFailover(ladder *Ladder) Failover {
+	return Failover{
+		Regions: map[model.Placement]string{
+			model.PlaceFunction: "east",
+			model.PlaceVM:       "west",
+		},
+		FailureThreshold: 2,
+		ProbeEvery:       5,
+		Ladder:           ladder,
+	}
+}
+
+func TestFailoverValidation(t *testing.T) {
+	env := testEnv(t)
+	cases := []struct {
+		name string
+		fo   Failover
+	}{
+		{"no regions", Failover{}},
+		{"local placement", Failover{Regions: map[model.Placement]string{model.PlaceLocal: "here"}}},
+		{"empty region name", Failover{Regions: map[model.Placement]string{model.PlaceVM: ""}}},
+		{"negative threshold", Failover{Regions: map[model.Placement]string{model.PlaceVM: "west"}, FailureThreshold: -1}},
+		{"negative probe pace", Failover{Regions: map[model.Placement]string{model.PlaceVM: "west"}, ProbeEvery: -1}},
+		{"bad link", Failover{Regions: map[model.Placement]string{model.PlaceVM: "west"}, Link: model.InterRegionLink{RTT: -1, BandwidthBps: 1}}},
+	}
+	for _, c := range cases {
+		if _, err := New(env, CloudAll{}, Exact{}, WithFailover(c.fo)); err == nil {
+			t.Errorf("%s: New accepted %+v", c.name, c.fo)
+		}
+	}
+	// A region mapped to a placement the environment does not offer is a
+	// configuration error, not a silently-untracked region.
+	env.VM = nil
+	if _, err := New(env, CloudAll{}, Exact{}, WithFailover(Failover{
+		Regions: map[model.Placement]string{model.PlaceVM: "west"},
+	})); err == nil {
+		t.Error("New accepted a region homed on an absent substrate")
+	}
+}
+
+// TestFailoverRehomesOnOutage pins the tentpole behaviour: with the east
+// region dark, tasks re-home to west (paying the state-transfer cost),
+// nothing is lost, and the health ledger records the open incident.
+func TestFailoverRehomesOnOutage(t *testing.T) {
+	env := twoRegionEnv(t, fault.Window{Start: 0, Duration: 1e4})
+	s, err := New(env, CloudAll{}, Exact{},
+		WithRetries(RetryPolicy{MaxAttempts: 5, Backoff: 1}),
+		WithFailover(twoRegionFailover(nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed, completed := 0, 0
+	s.onDone = func(o model.Outcome) {
+		if o.Failed {
+			failed++
+		} else {
+			completed++
+		}
+	}
+	// Staggered arrivals: the first failure and the threshold-crossing one
+	// land at different instants, so detection has a measurable lag.
+	for i := 1; i <= 8; i++ {
+		task := heavyTask(model.TaskID(i))
+		task.Cycles = 1e9
+		env.Eng.At(sim.Time(3*(i-1)), func() { s.Submit(task) })
+	}
+	// Stop mid-outage: the canary probe loop keeps the queue busy until
+	// the window clears, and this test wants the incident still open.
+	env.Eng.RunUntil(100)
+	if failed != 0 {
+		t.Fatalf("%d tasks failed despite a healthy alternative region", failed)
+	}
+	if completed != 8 {
+		t.Fatalf("%d tasks completed by t=100, want 8", completed)
+	}
+	fs := s.FailoverStats()
+	if fs.ReHomed == 0 {
+		t.Fatal("no tasks re-homed off the dark region")
+	}
+	if fs.StateTransferUSD <= 0 {
+		t.Fatal("re-homing paid no state-transfer cost")
+	}
+	if fs.Probes == 0 {
+		t.Fatal("no canary probes sent to the down region")
+	}
+	healthy, total := s.HealthyRegions()
+	if total != 2 || healthy != 1 {
+		t.Fatalf("healthy/total = %d/%d, want 1/2", healthy, total)
+	}
+	for _, rs := range s.RegionSnapshots() {
+		switch rs.Name {
+		case "east":
+			if !rs.Down || rs.Downs != 1 {
+				t.Errorf("east snapshot %+v, want one open incident", rs)
+			}
+			if rs.MTTDSeconds <= 0 {
+				t.Errorf("east MTTD %g, want > 0", rs.MTTDSeconds)
+			}
+			if rs.DownSeconds <= 0 {
+				t.Errorf("east down seconds %g, want > 0", rs.DownSeconds)
+			}
+		case "west":
+			if rs.Down || rs.Downs != 0 {
+				t.Errorf("west snapshot %+v, want healthy", rs)
+			}
+		}
+	}
+	if s.DegradedSeconds() <= 0 {
+		t.Error("no degraded time accrued during an open incident")
+	}
+}
+
+// TestLadderShedsAndRecovers walks the ladder: during the outage,
+// low-priority work parks (shed) while normal work re-homes; when the
+// canary probe discovers the recovery, parked work drains and completes,
+// and the ledger closes the incident with a plausible MTTR.
+func TestLadderShedsAndRecovers(t *testing.T) {
+	env := twoRegionEnv(t, fault.Window{Start: 0, Duration: 60})
+	s, err := New(env, CloudAll{}, Exact{},
+		WithRetries(RetryPolicy{MaxAttempts: 5, Backoff: 1}),
+		WithFailover(twoRegionFailover(&Ladder{ShedLowAfter: 0, LocalizeAfter: 30, QueueAfter: 50})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := map[model.TaskID]bool{}
+	s.onDone = func(o model.Outcome) {
+		if o.Task != nil && !o.Failed {
+			done[o.Task.ID] = true
+		}
+	}
+	for i := 1; i <= 6; i++ {
+		task := heavyTask(model.TaskID(i))
+		task.Cycles = 1e9
+		if i%2 == 0 {
+			task.Priority = model.PriorityLow
+		}
+		s.Submit(task)
+	}
+	env.Eng.Run()
+	if n := s.FlushFailover(); n != 0 {
+		t.Fatalf("flush localized %d tasks after a discovered recovery", n)
+	}
+	fs := s.FailoverStats()
+	if fs.Shed == 0 {
+		t.Fatal("ladder shed no low-priority work during the outage")
+	}
+	if fs.Lost != 0 {
+		t.Fatalf("ladder lost %d tasks", fs.Lost)
+	}
+	for i := 1; i <= 6; i++ {
+		if !done[model.TaskID(i)] {
+			t.Errorf("task %d never completed", i)
+		}
+	}
+	for _, rs := range s.RegionSnapshots() {
+		if rs.Name != "east" {
+			continue
+		}
+		if rs.Down || rs.Recoveries != 1 {
+			t.Fatalf("east snapshot %+v, want one completed recovery", rs)
+		}
+		// The outage runs [0, 60) and probes pace at 5 s: recovery must be
+		// discovered within one probe period of the window clearing.
+		if rs.MTTRSeconds <= 0 || rs.MTTRSeconds > 66 {
+			t.Fatalf("east MTTR %g outside (0, 66]", rs.MTTRSeconds)
+		}
+	}
+	if s.DegradationMode() != DegradeHealthy {
+		t.Errorf("mode %v after recovery, want healthy", s.DegradationMode())
+	}
+}
+
+// TestFlushLocalizesStrandedWork pins the never-drop contract: when the
+// outage outlasts the workload and no alternative region exists, parked
+// tasks run locally at drain time instead of being lost.
+func TestFlushLocalizesStrandedWork(t *testing.T) {
+	env := twoRegionEnv(t, fault.Window{Start: 0, Duration: 1e4})
+	// Both remotes homed in east: shed work has nowhere to go.
+	fo := Failover{
+		Regions: map[model.Placement]string{
+			model.PlaceFunction: "east",
+			model.PlaceVM:       "east",
+		},
+		FailureThreshold: 2,
+		ProbeEvery:       5,
+		Ladder:           &Ladder{ShedLowAfter: 0},
+	}
+	s, err := New(env, CloudAll{}, Exact{},
+		WithRetries(RetryPolicy{MaxAttempts: 5, Backoff: 1}),
+		WithFailover(fo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := 0
+	s.onDone = func(o model.Outcome) {
+		if !o.Failed {
+			completed++
+		}
+	}
+	for i := 1; i <= 4; i++ {
+		task := heavyTask(model.TaskID(i))
+		task.Cycles = 1e9
+		task.Priority = model.PriorityLow
+		s.Submit(task)
+	}
+	env.Eng.RunUntil(100)
+	if s.FailoverQueueLen() == 0 {
+		t.Fatal("no work parked during a permanent outage")
+	}
+	if n := s.FlushFailover(); n == 0 {
+		t.Fatal("flush localized nothing")
+	}
+	env.Eng.RunUntil(200)
+	if completed != 4 {
+		t.Fatalf("%d tasks completed after flush, want 4", completed)
+	}
+	if fs := s.FailoverStats(); fs.Lost != 0 {
+		t.Fatalf("flush lost %d tasks", fs.Lost)
+	}
+}
+
+// TestLadderQueueOverflowLoses pins the only loss path the ladder has: a
+// full wait queue.
+func TestLadderQueueOverflowLoses(t *testing.T) {
+	env := twoRegionEnv(t, fault.Window{Start: 0, Duration: 1e4})
+	s, err := New(env, CloudAll{}, Exact{},
+		WithRetries(RetryPolicy{MaxAttempts: 5, Backoff: 1}),
+		WithFailover(twoRegionFailover(&Ladder{ShedLowAfter: 0, MaxQueue: 1})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		task := heavyTask(model.TaskID(i))
+		task.Cycles = 1e9
+		task.Priority = model.PriorityLow
+		s.Submit(task)
+	}
+	env.Eng.RunUntil(100)
+	if fs := s.FailoverStats(); fs.Lost == 0 {
+		t.Fatal("a one-slot queue absorbed four shed tasks without loss")
+	}
+}
+
+// TestLadderRungProgression pins the rung thresholds against the age of
+// the oldest open incident.
+func TestLadderRungProgression(t *testing.T) {
+	env := twoRegionEnv(t, fault.Window{Start: 0, Duration: 1e4})
+	s, err := New(env, CloudAll{}, Exact{},
+		WithRetries(RetryPolicy{MaxAttempts: 3, Backoff: 1}),
+		WithFailover(twoRegionFailover(&Ladder{ShedLowAfter: 5, LocalizeAfter: 30, QueueAfter: 120})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One task drives detection: two failed attempts mark east down well
+	// before t=5, so the checkpoints below land inside each rung.
+	task := heavyTask(1)
+	task.Cycles = 1e9
+	s.Submit(task)
+	for _, cp := range []struct {
+		at   sim.Time
+		want DegradationMode
+	}{
+		{3, DegradeHealthy}, // detected, but younger than ShedLowAfter
+		{10, DegradeShedLow},
+		{40, DegradeLocalizeCritical},
+		{200, DegradeQueueAndWait},
+	} {
+		cp := cp
+		env.Eng.At(cp.at, func() {
+			if got := s.DegradationMode(); got != cp.want {
+				t.Errorf("mode %v at t=%g, want %v", got, float64(cp.at), cp.want)
+			}
+		})
+	}
+	env.Eng.RunUntil(300)
+	for _, rs := range s.RegionSnapshots() {
+		if rs.Name == "east" && !rs.Down {
+			t.Fatal("east never marked down")
+		}
+	}
+}

@@ -123,6 +123,14 @@ type BreakerConfig struct {
 	// HalfOpenSuccesses successful probes close the breaker (default 1);
 	// any probe failure reopens it.
 	HalfOpenSuccesses int
+
+	// OpenBackoff multiplies the cooldown after each consecutive reopen (a
+	// HalfOpen probe failure): the k-th reopen waits OpenFor·OpenBackoff^k,
+	// capped at OpenForMax when that is positive. A persistently dark
+	// backend is probed less and less often. Values <= 1 keep the fixed
+	// OpenFor cooldown (the default behaviour).
+	OpenBackoff float64
+	OpenForMax  sim.Duration
 }
 
 // Validate reports whether the configuration is usable.
@@ -134,6 +142,12 @@ func (c BreakerConfig) Validate() error {
 		return fmt.Errorf("sched: breaker open-for duration must be positive")
 	case c.HalfOpenSuccesses < 0:
 		return fmt.Errorf("sched: negative breaker half-open successes")
+	case c.OpenBackoff < 0 || c.OpenBackoff != c.OpenBackoff:
+		return fmt.Errorf("sched: breaker open backoff %g not a non-negative number", c.OpenBackoff)
+	case c.OpenForMax < 0:
+		return fmt.Errorf("sched: negative breaker open-for cap")
+	case c.OpenForMax > 0 && c.OpenForMax < c.OpenFor:
+		return fmt.Errorf("sched: breaker open-for cap below open-for")
 	}
 	return nil
 }
@@ -156,6 +170,7 @@ type Breaker struct {
 	failures  int  // consecutive failures while closed
 	successes int  // probe successes while half-open
 	probing   bool // a half-open probe is in flight
+	reopens   int  // consecutive reopens (HalfOpen probe failures)
 	openedAt  sim.Time
 	opens     uint64
 
@@ -196,7 +211,7 @@ func (b *Breaker) Opens() uint64 { return b.opens }
 func (b *Breaker) Allow(now sim.Time) bool {
 	switch b.state {
 	case BreakerOpen:
-		if now.Sub(b.openedAt) < b.cfg.OpenFor {
+		if now.Sub(b.openedAt) < b.cooldown() {
 			return false
 		}
 		b.transition(BreakerHalfOpen)
@@ -225,6 +240,7 @@ func (b *Breaker) OnSuccess() {
 		if b.successes >= b.cfg.halfOpenTarget() {
 			b.transition(BreakerClosed)
 			b.failures = 0
+			b.reopens = 0
 		}
 	}
 	// A success while Open comes from an attempt dispatched before the
@@ -241,16 +257,36 @@ func (b *Breaker) OnFailure(now sim.Time) {
 		}
 	case BreakerHalfOpen:
 		b.probing = false
+		b.reopens++
 		b.trip(now)
 	}
 }
 
+// trip opens the breaker with a fresh timer: the cooldown is measured
+// from this failure, never from the original trip.
 func (b *Breaker) trip(now sim.Time) {
 	b.transition(BreakerOpen)
 	b.openedAt = now
 	b.failures = 0
 	b.successes = 0
 	b.opens++
+}
+
+// cooldown returns how long the current Open period refuses traffic:
+// OpenFor, multiplied by OpenBackoff per consecutive reopen and capped at
+// OpenForMax when configured.
+func (b *Breaker) cooldown() sim.Duration {
+	d := b.cfg.OpenFor
+	if b.cfg.OpenBackoff <= 1 {
+		return d
+	}
+	for i := 0; i < b.reopens && i < 62; i++ {
+		d = sim.Duration(float64(d) * b.cfg.OpenBackoff)
+		if max := b.cfg.OpenForMax; max > 0 && d >= max {
+			return max
+		}
+	}
+	return d
 }
 
 // taskState tracks one task through the resilience layer's attempt
@@ -318,6 +354,12 @@ func (s *Scheduler) breakerFor(p model.Placement) *Breaker {
 // fallback rerouting), per-attempt timeout, hedge timer, dispatch.
 func (s *Scheduler) launchAttempt(st *taskState, isHedge bool) {
 	target := st.placement
+	if s.fo != nil {
+		// Failover composes with resilience per attempt: an attempt aimed
+		// at a down region re-points at a surviving one (paying the
+		// state-transfer egress) before the breaker sees it.
+		target = s.fo.retarget(st.task, target)
+	}
 	if br := s.breakerFor(target); br != nil && !br.Allow(s.env.Eng.Now()) {
 		target = s.res.fallback()
 		s.stats.Fallbacks++
@@ -387,6 +429,9 @@ func (s *Scheduler) onAttemptTimeout(a *attempt) {
 	if br := s.breakerFor(a.placement); br != nil {
 		br.OnFailure(now)
 	}
+	if s.fo != nil {
+		s.fo.observe(a.placement, true, ErrAttemptTimeout, now)
+	}
 	abandoned := model.Outcome{
 		Task: st.task, Placement: a.placement,
 		Started: st.task.Submitted, Finished: now,
@@ -425,6 +470,7 @@ func (s *Scheduler) onAttemptDone(a *attempt, o model.Outcome) {
 		s.sunkUSD[st.task.ID] += o.CostUSD
 		s.sunkMJ[st.task.ID] += o.EnergyMilliJ
 		s.breakerFeedback(br, o)
+		s.foFeedback(a.placement, o)
 		if s.tr != nil {
 			status := trace.StatusLose
 			if o.Failed {
@@ -436,6 +482,7 @@ func (s *Scheduler) onAttemptDone(a *attempt, o model.Outcome) {
 		if br != nil {
 			br.OnSuccess()
 		}
+		s.foFeedback(a.placement, o)
 		if a.placement != model.PlaceLocal {
 			s.attemptLat.Observe(float64(s.env.Eng.Now().Sub(a.launched)))
 		}
@@ -449,6 +496,7 @@ func (s *Scheduler) onAttemptDone(a *attempt, o model.Outcome) {
 		st.winner = o
 	default:
 		s.breakerFeedback(br, o)
+		s.foFeedback(a.placement, o)
 		if s.tr != nil {
 			status := trace.StatusFailed
 			if s.shouldRetryErr(st.task, o.Exec.Err) {
@@ -475,6 +523,15 @@ func (s *Scheduler) breakerFeedback(br *Breaker, o model.Outcome) {
 		return
 	}
 	br.OnSuccess()
+}
+
+// foFeedback forwards one genuine attempt completion to the failover
+// health tracker, which applies its own transient/other classification.
+func (s *Scheduler) foFeedback(p model.Placement, o model.Outcome) {
+	if s.fo == nil {
+		return
+	}
+	s.fo.observe(p, o.Failed, o.Exec.Err, s.env.Eng.Now())
 }
 
 // handleAttemptFailure retries a transient failure with backoff, or marks

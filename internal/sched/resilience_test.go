@@ -566,3 +566,108 @@ func TestShifterWithRetries(t *testing.T) {
 			s.Stats().CostUSD, billed)
 	}
 }
+
+// TestBreakerReopenFreshTimer is the regression test for the HalfOpen
+// probe-failure path: the reopened breaker's cooldown is measured from
+// the probe failure, never from the original trip — a stale timer would
+// re-admit traffic immediately.
+func TestBreakerReopenFreshTimer(t *testing.T) {
+	br, err := NewBreaker(BreakerConfig{FailureThreshold: 2, OpenFor: 10, HalfOpenSuccesses: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br.OnFailure(0)
+	br.OnFailure(0)
+	if br.State() != BreakerOpen {
+		t.Fatalf("state %v after threshold failures, want open", br.State())
+	}
+	if !br.Allow(10) {
+		t.Fatal("probe refused after the first cooldown")
+	}
+	br.OnFailure(10) // probe fails at t=10
+	if br.State() != BreakerOpen || br.Opens() != 2 {
+		t.Fatalf("state %v opens %d after probe failure, want open/2", br.State(), br.Opens())
+	}
+	// A stale timer (cooldown from the original trip at t=0) would admit
+	// traffic right away; the fresh timer holds until t=20.
+	if br.Allow(10.1) {
+		t.Fatal("reopened breaker admitted traffic immediately after the failed probe")
+	}
+	if br.Allow(19.9) {
+		t.Fatal("reopened breaker admitted traffic before the fresh cooldown elapsed")
+	}
+	if !br.Allow(20) {
+		t.Fatal("reopened breaker refused the probe after a full fresh cooldown")
+	}
+}
+
+// TestBreakerOpenBackoff pins the opt-in backed-off reopen schedule:
+// consecutive probe failures wait OpenFor·OpenBackoff^k capped at
+// OpenForMax, and one probe success resets the schedule.
+func TestBreakerOpenBackoff(t *testing.T) {
+	br, err := NewBreaker(BreakerConfig{
+		FailureThreshold: 1, OpenFor: 10, HalfOpenSuccesses: 1,
+		OpenBackoff: 2, OpenForMax: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br.OnFailure(0) // trip: cooldown 10
+	for _, step := range []struct {
+		probeAt  sim.Time // when the cooldown has just elapsed
+		tooEarly sim.Time // a moment before it has
+	}{
+		{10, 9.9},  // k=0: 10 s
+		{30, 29.9}, // k=1: 20 s from the failed probe at 10
+		{70, 69.9}, // k=2: 40 s from the failed probe at 30
+		{110, 109}, // k=3: 80 s capped at 40, from the probe at 70
+	} {
+		if br.Allow(step.tooEarly) {
+			t.Fatalf("probe admitted at t=%g, before the backed-off cooldown", float64(step.tooEarly))
+		}
+		if !br.Allow(step.probeAt) {
+			t.Fatalf("probe refused at t=%g after the cooldown elapsed", float64(step.probeAt))
+		}
+		br.OnFailure(step.probeAt)
+	}
+	// A successful probe closes the breaker and resets the schedule: the
+	// next trip waits the base cooldown again.
+	if !br.Allow(150) {
+		t.Fatal("probe refused at t=150")
+	}
+	br.OnSuccess()
+	if br.State() != BreakerClosed {
+		t.Fatalf("state %v after probe success, want closed", br.State())
+	}
+	br.OnFailure(200)
+	if br.Allow(209.9) {
+		t.Fatal("reset breaker kept the backed-off cooldown")
+	}
+	if !br.Allow(210) {
+		t.Fatal("reset breaker refused traffic after the base cooldown")
+	}
+}
+
+// TestBreakerBackoffValidation pins the new knobs' validation.
+func TestBreakerBackoffValidation(t *testing.T) {
+	base := BreakerConfig{FailureThreshold: 1, OpenFor: 10, HalfOpenSuccesses: 1}
+	bad := []func(*BreakerConfig){
+		func(c *BreakerConfig) { c.OpenBackoff = -1 },
+		func(c *BreakerConfig) { c.OpenBackoff = math.NaN() },
+		func(c *BreakerConfig) { c.OpenForMax = -1 },
+		func(c *BreakerConfig) { c.OpenForMax = 5 }, // below OpenFor
+	}
+	for i, mutate := range bad {
+		cfg := base
+		mutate(&cfg)
+		if _, err := NewBreaker(cfg); err == nil {
+			t.Errorf("case %d: NewBreaker accepted %+v", i, cfg)
+		}
+	}
+	if _, err := NewBreaker(BreakerConfig{
+		FailureThreshold: 1, OpenFor: 10, HalfOpenSuccesses: 1,
+		OpenBackoff: 1.5, OpenForMax: 40,
+	}); err != nil {
+		t.Errorf("NewBreaker rejected a valid backoff config: %v", err)
+	}
+}

@@ -103,6 +103,10 @@ type Scheduler struct {
 	breakers   map[model.Placement]*Breaker
 	attemptLat *metrics.Histogram
 
+	// Regional failover layer (nil when disabled): per-region health
+	// tracking, re-homing and the graceful-degradation ladder.
+	fo *failover
+
 	// tr receives causal hook points (attempt lifecycle, breaker
 	// transitions, hedge cancels, task settlement) when span tracing is
 	// enabled. Tracers are passive: they record, never steer — dispatch
@@ -202,6 +206,11 @@ func New(env *Env, policy Policy, pred Predictor, opts ...Option) (*Scheduler, e
 		s.breakers = make(map[model.Placement]*Breaker)
 		s.attemptLat = metrics.NewLatencyHistogram()
 	}
+	if s.fo != nil {
+		if err := s.initFailover(); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -254,8 +263,20 @@ func (s *Scheduler) Submit(task *model.Task) {
 // Dispatch runs the task at an explicit placement, bypassing the policy.
 // The Batcher uses this to realise its own placement decisions. With the
 // resilience layer enabled the placement becomes the task's primary
-// target, subject to breaker rerouting, hedging and retries.
+// target, subject to breaker rerouting, hedging and retries. With the
+// failover layer enabled the dispatch is first routed: a down region's
+// tasks re-home, park or localize per the degradation ladder.
 func (s *Scheduler) Dispatch(task *model.Task, placement model.Placement) {
+	if s.fo != nil {
+		s.fo.route(task, placement)
+		return
+	}
+	s.dispatchDirect(task, placement)
+}
+
+// dispatchDirect is Dispatch past the failover routing decision: the
+// resilience machinery, or one traced plain attempt.
+func (s *Scheduler) dispatchDirect(task *model.Task, placement model.Placement) {
 	if s.res != nil {
 		s.resilientDispatch(task, placement)
 		return
@@ -416,6 +437,12 @@ func (s *Scheduler) DispatchThen(task *model.Task, placement model.Placement, th
 }
 
 func (s *Scheduler) finish(o model.Outcome) {
+	// Plain-path attempts report their outcome here once each, so this is
+	// where the failover health tracker hears about them. The resilience
+	// path feeds per attempt from onAttemptDone/onAttemptTimeout instead.
+	if s.fo != nil && s.res == nil && o.Task != nil {
+		s.fo.observe(o.Placement, o.Failed, o.Exec.Err, s.env.Eng.Now())
+	}
 	if o.Task != nil && o.Failed && s.res == nil && s.shouldRetry(o) {
 		n := s.attempts[o.Task.ID] + 1
 		s.attempts[o.Task.ID] = n

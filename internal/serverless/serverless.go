@@ -410,6 +410,9 @@ func NewPlatform(eng *sim.Engine, src *rng.Source, cfg Config) *Platform {
 // fault injection.
 func (p *Platform) SetFaultInjector(inj fault.Injector) { p.inj = inj }
 
+// FaultInjector returns the installed fault model, or nil.
+func (p *Platform) FaultInjector() fault.Injector { return p.inj }
+
 // SetColdStart replaces the cold-start model from the current virtual
 // time on — regime drift, e.g. a heavier runtime image rolled out
 // mid-run. Keep MedianSec's zero/non-zero status unchanged across the

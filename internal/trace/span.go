@@ -29,6 +29,9 @@ const (
 	EventBreaker     = "breaker"      // Status carries "from>to"
 	EventHedgeCancel = "hedge_cancel" // armed hedge timer cancelled unfired
 	EventAdapt       = "adapt"        // adaptive-layer decision; Status carries the kind
+	EventRegion      = "region"       // region health transition; Status carries "down"/"up"
+	EventDegrade     = "degrade"      // ladder rung change; Status carries "from>to"
+	EventRehome      = "rehome"       // task re-dispatched across regions; Status carries "from>to"
 )
 
 // Attempt statuses: how one dispatch of a task ended.
@@ -100,6 +103,22 @@ type Tracer interface {
 	HedgeCanceled(task model.TaskID, at sim.Time)
 	// TaskDone records the task's settled end-to-end outcome.
 	TaskDone(o model.Outcome, at sim.Time)
+}
+
+// RegionTracer is the optional extension a Tracer can implement to
+// receive the regional failover layer's hook points. Kept separate from
+// Tracer so existing implementations stay valid; the scheduler
+// type-asserts for it. The same passivity contract applies.
+type RegionTracer interface {
+	// RegionTransition records a region going down or coming back up.
+	RegionTransition(region string, down bool, at sim.Time)
+	// DegradationChange records the graceful-degradation ladder moving
+	// between rungs (rung names: healthy, shed-low, localize-critical,
+	// queue-and-wait).
+	DegradationChange(from, to string, at sim.Time)
+	// TaskRehomed records a task re-dispatched from a dead region's
+	// placement to a surviving one, paying the state-transfer cost.
+	TaskRehomed(task model.TaskID, from, to model.Placement, at sim.Time)
 }
 
 // SpanRecorder assembles Spans from the scheduler's Tracer hook points.
@@ -325,6 +344,42 @@ func (r *SpanRecorder) AdaptEvent(kind, subject string, at sim.Time) {
 		ID: r.id(), Name: EventAdapt, Backend: subject,
 		Start: float64(at), End: float64(at),
 		Status: kind,
+	})
+}
+
+// RegionTransition implements RegionTracer as a zero-width run-scoped
+// event span: Backend carries the region name, Status "down" or "up".
+func (r *SpanRecorder) RegionTransition(region string, down bool, at sim.Time) {
+	status := "up"
+	if down {
+		status = "down"
+	}
+	r.spans = append(r.spans, Span{
+		ID: r.id(), Name: EventRegion, Backend: region,
+		Start: float64(at), End: float64(at),
+		Status: status,
+	})
+}
+
+// DegradationChange implements RegionTracer: a zero-width run-scoped
+// event span whose Status carries "from>to" rung names.
+func (r *SpanRecorder) DegradationChange(from, to string, at sim.Time) {
+	r.spans = append(r.spans, Span{
+		ID: r.id(), Name: EventDegrade,
+		Start: float64(at), End: float64(at),
+		Status: from + ">" + to,
+	})
+}
+
+// TaskRehomed implements RegionTracer: a zero-width span on the task's
+// trace whose Status carries the "from>to" placements.
+func (r *SpanRecorder) TaskRehomed(task model.TaskID, from, to model.Placement, at sim.Time) {
+	trace := uint64(task)
+	r.spans = append(r.spans, Span{
+		ID: r.id(), Trace: trace, Parent: r.rootFor(trace),
+		Name:  EventRehome,
+		Start: float64(at), End: float64(at),
+		Status: from.String() + ">" + to.String(),
 	})
 }
 

@@ -42,9 +42,11 @@ import (
 	"offload/internal/core"
 	"offload/internal/device"
 	"offload/internal/edge"
+	"offload/internal/fault"
 	"offload/internal/model"
 	"offload/internal/network"
 	"offload/internal/rng"
+	"offload/internal/sched"
 	"offload/internal/serverless"
 	"offload/internal/workload"
 )
@@ -95,6 +97,33 @@ type (
 // DefaultAdaptConfig enables every adaptive feature with the package
 // defaults.
 func DefaultAdaptConfig() AdaptConfig { return adapt.DefaultConfig() }
+
+// Regional failover layer (internal/fault + internal/sched): region
+// naming, scheduled regional disasters, health tracking with re-homing
+// and the graceful-degradation ladder. Set Config.Regions to use it.
+type (
+	// RegionsConfig names each substrate's region, prices the
+	// inter-region backbone, schedules regional disasters and enables
+	// the failover layer.
+	RegionsConfig = core.RegionsConfig
+	// RegionSchedule scripts one region's outages and brown-outs.
+	RegionSchedule = fault.RegionSchedule
+	// FaultWindow is one [Start, Start+Duration) fault window.
+	FaultWindow = fault.Window
+	// FaultBrownout caps capacity to a fraction inside a window.
+	FaultBrownout = fault.Brownout
+	// InterRegionLink prices the backbone a re-homed task's state
+	// crosses.
+	InterRegionLink = model.InterRegionLink
+	// Failover configures the scheduler's regional failover layer.
+	Failover = sched.Failover
+	// Ladder is the graceful-degradation state machine.
+	Ladder = sched.Ladder
+	// FailoverStats counts what the failover layer did to tasks.
+	FailoverStats = sched.FailoverStats
+	// RegionSnapshot is one region's health ledger at a point in time.
+	RegionSnapshot = sched.RegionSnapshot
+)
 
 // NewSystem builds a System from the configuration.
 func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }

@@ -78,3 +78,54 @@ func TestAllPoliciesRunViaFacade(t *testing.T) {
 		}
 	}
 }
+
+func TestRegionalFailoverJourney(t *testing.T) {
+	cfg := offload.DefaultConfig()
+	cfg.Policy = offload.PolicyCloudAll
+	cfg.Retries = 3
+	cfg.RetryBackoff = 1
+	cfg.Regions = &offload.RegionsConfig{
+		Edge: "metro", Serverless: "cloud-east", VM: "cloud-west",
+		Schedules: []offload.RegionSchedule{{
+			Region:       "cloud-east",
+			Outages:      []offload.FaultWindow{{Start: 5, Duration: 60}},
+			RecoveryRamp: 5,
+		}},
+		Failover: &offload.Failover{Ladder: &offload.Ladder{}},
+	}
+	sys, err := offload.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := offload.StandardMix(sys.Src.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SubmitStream(offload.NewPoisson(sys.Src.Split(), 1), gen, 40)
+	sys.Run()
+	if got := sys.Stats().Total(); got != 40 {
+		t.Fatalf("Total = %d, want 40", got)
+	}
+	if failed := sys.Stats().Failed; failed != 0 {
+		t.Fatalf("failover lost %d tasks", failed)
+	}
+	fo := sys.Scheduler.FailoverStats()
+	if fo.Lost != 0 {
+		t.Fatalf("wait queue lost %d tasks", fo.Lost)
+	}
+	if fo.ReHomed+fo.Localized+fo.Queued+fo.Shed == 0 {
+		t.Fatal("failover layer never touched a task")
+	}
+	if _, total := sys.Scheduler.HealthyRegions(); total != 3 {
+		t.Fatalf("tracking %d regions, want 3", total)
+	}
+	east := false
+	for _, rs := range sys.Scheduler.RegionSnapshots() {
+		if rs.Name == "cloud-east" && rs.Downs >= 1 {
+			east = true
+		}
+	}
+	if !east {
+		t.Fatal("cloud-east outage never detected")
+	}
+}
