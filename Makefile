@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt race fuzz chaos ci determinism metrics-golden spans-golden golden offbench-bin bench bench-micro bench-json bench-gate bench-full results examples clean
+.PHONY: all build test vet fmt race fuzz chaos ci determinism shards metrics-golden spans-golden golden offbench-bin bench bench-micro bench-json bench-gate bench-full results examples clean
 
 # The offbench binary shared by the determinism and golden targets; built
 # once per make invocation instead of once per target.
@@ -31,14 +31,17 @@ race:
 	$(GO) test -race ./...
 
 # Short fuzzing smoke runs over the fault-injector invariants, the span
-# JSONL codec and the Page–Hinkley drift detector. Longer local sessions:
+# JSONL codec, the Page–Hinkley drift detector and the shard-barrier
+# determinism property. Longer local sessions:
 #   go test -fuzz=FuzzFaultInjector -fuzztime=5m ./internal/fault/
 #   go test -fuzz=FuzzReadSpansJSONL -fuzztime=5m ./internal/trace/
 #   go test -fuzz=FuzzDriftDetector -fuzztime=5m ./internal/adapt/
+#   go test -fuzz=FuzzShardBarrier -fuzztime=5m ./internal/sim/
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzFaultInjector -fuzztime=10s ./internal/fault/
 	$(GO) test -run='^$$' -fuzz=FuzzReadSpansJSONL -fuzztime=10s ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzDriftDetector -fuzztime=10s ./internal/adapt/
+	$(GO) test -run='^$$' -fuzz=FuzzShardBarrier -fuzztime=10s ./internal/sim/
 
 # Everything CI runs, in order: the gates plus the determinism diffs.
 ci: build vet fmt test race fuzz determinism metrics-golden spans-golden
@@ -59,6 +62,19 @@ determinism: offbench-bin
 	$(OFFBENCH_BIN) -scale quick -csv -seed 1 -exp E20 -parallel 1 -quiet > /tmp/offbench-e20-serial.txt
 	$(OFFBENCH_BIN) -scale quick -csv -seed 1 -exp E20 -parallel 4 -quiet > /tmp/offbench-e20-parallel.txt
 	cmp /tmp/offbench-e20-serial.txt /tmp/offbench-e20-parallel.txt
+	$(OFFBENCH_BIN) -scale quick -csv -seed 1 -exp E21 -shards 1 -quiet > /tmp/offbench-e21-serial.txt
+	$(OFFBENCH_BIN) -scale quick -csv -seed 1 -exp E21 -shards 7 -quiet > /tmp/offbench-e21-sharded.txt
+	cmp /tmp/offbench-e21-serial.txt /tmp/offbench-e21-sharded.txt
+
+# The sharded-engine drill: the cross-shard determinism property and
+# fleet tests under the race detector, then the E21 quick run diffed
+# serial (one shard) against sharded (seven) byte for byte.
+shards: offbench-bin
+	$(GO) test -race -run 'TestSharded|TestShardedFleet' ./internal/sim/ ./internal/core/
+	$(GO) test -race -run 'TestE21' ./internal/exp/
+	$(OFFBENCH_BIN) -scale quick -csv -seed 1 -exp E21 -shards 1 -quiet > /tmp/offbench-e21-serial.txt
+	$(OFFBENCH_BIN) -scale quick -csv -seed 1 -exp E21 -shards 7 -quiet > /tmp/offbench-e21-sharded.txt
+	cmp /tmp/offbench-e21-serial.txt /tmp/offbench-e21-sharded.txt
 
 # The chaos drill: both failure-centric experiments (E17 correlated
 # outages, E20 regional disasters) at quick scale under the race

@@ -130,6 +130,13 @@ func BenchmarkE18Attribution(b *testing.B) { benchExperiment(b, "E18") }
 // static policies across drifting regimes.
 func BenchmarkE19Adaptive(b *testing.B) { benchExperiment(b, "E19") }
 
+// BenchmarkE20Failover regenerates Table 14: regional disaster drills.
+func BenchmarkE20Failover(b *testing.B) { benchExperiment(b, "E20") }
+
+// BenchmarkE21FlashCrowd regenerates Table 15: the sharded-engine flash
+// crowd (quick scale: 2500 UEs; the 1M-UE run is -scale full only).
+func BenchmarkE21FlashCrowd(b *testing.B) { benchExperiment(b, "E21") }
+
 // --- micro-benchmarks for the core algorithms ---
 
 // BenchmarkSimEngine measures raw event throughput of the kernel.

@@ -14,6 +14,7 @@
 //	offbench -scale quick    # the CI-sized scale
 //	offbench -csv            # machine-readable output
 //	offbench -parallel 4     # bound the worker pool
+//	offbench -shards 7       # shard the E21 fleet; output identical for any value
 //	offbench -spans DIR      # export per-cell causal spans (JSONL + Chrome trace)
 //	offbench -list           # print the experiment index
 //
@@ -56,6 +57,7 @@ func run(args []string, registry []exp.Experiment, stdout, stderr io.Writer) int
 		listFlag     = fs.Bool("list", false, "list experiments and exit")
 		seedFlag     = fs.Uint64("seed", 1, "base RNG seed")
 		parallelFlag = fs.Int("parallel", 0, "worker-pool size (0 = NumCPU); output is identical for any value")
+		shardsFlag   = fs.Int("shards", 0, "worker shards for the sharded-engine experiments (E21); output is identical for any value")
 		quietFlag    = fs.Bool("quiet", false, "suppress per-experiment progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -80,6 +82,11 @@ func run(args []string, registry []exp.Experiment, stdout, stderr io.Writer) int
 		return 2
 	}
 	scale.Seed = *seedFlag
+	if *shardsFlag < 0 {
+		fmt.Fprintf(stderr, "offbench: -shards %d negative\n", *shardsFlag)
+		return 2
+	}
+	scale.Shards = *shardsFlag
 
 	selected, err := selectExperiments(registry, *expFlag)
 	if err != nil {

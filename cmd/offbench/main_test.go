@@ -3,10 +3,15 @@ package main
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"offload/internal/exp"
 	"offload/internal/metrics"
@@ -191,6 +196,61 @@ func TestRunMetricsExport(t *testing.T) {
 	}
 	if !strings.Contains(got["e12_registry.csv"], "cost_usd{state=failed}") {
 		t.Fatal("registry export missing failed-cost counter")
+	}
+}
+
+// tornLineWriter is a hostile stderr: it dribbles every Write out
+// byte-by-byte with scheduler yields in between, so any two concurrent
+// writers WILL interleave mid-line, and it detects overlapping Write
+// calls directly. The runner must funnel all progress output through one
+// goroutine for this writer to come out clean.
+type tornLineWriter struct {
+	t       *testing.T
+	buf     bytes.Buffer
+	inWrite atomic.Bool
+}
+
+func (w *tornLineWriter) Write(p []byte) (int, error) {
+	if !w.inWrite.CompareAndSwap(false, true) {
+		w.t.Error("concurrent Write on stderr")
+	}
+	for _, b := range p {
+		w.buf.WriteByte(b)
+		runtime.Gosched()
+	}
+	w.inWrite.Store(false)
+	return len(p), nil
+}
+
+// TestRunParallelStderrNotTorn scrapes the progress stream produced under
+// -parallel for torn lines: every stderr line must be one complete,
+// well-formed progress record.
+func TestRunParallelStderrNotTorn(t *testing.T) {
+	reg := make([]exp.Experiment, 16)
+	for i := range reg {
+		id := fmt.Sprintf("T%d", i)
+		reg[i] = exp.Experiment{ID: id, Seq: i, Claim: id + " claim",
+			Run: func(s exp.Scale) ([]*metrics.Table, error) {
+				time.Sleep(time.Duration(s.Seed%5) * time.Millisecond)
+				tbl := metrics.NewTable(id+" table", "seed")
+				tbl.AddRowf(s.Seed)
+				return []*metrics.Table{tbl}, nil
+			}}
+	}
+	var stdout bytes.Buffer
+	stderr := &tornLineWriter{t: t}
+	if code := run([]string{"-scale", "quick", "-parallel", "8"}, reg, &stdout, stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr.buf.String())
+	}
+	lines := strings.Split(strings.TrimRight(stderr.buf.String(), "\n"), "\n")
+	if len(lines) != len(reg) {
+		t.Fatalf("stderr has %d lines, want %d:\n%s", len(lines), len(reg), stderr.buf.String())
+	}
+	done := regexp.MustCompile(`^offbench: T\d+ +done in +[0-9a-z.µ]+, +[0-9.]+ MB allocated$`)
+	for _, line := range lines {
+		if !done.MatchString(line) {
+			t.Errorf("torn or malformed progress line: %q", line)
+		}
 	}
 }
 

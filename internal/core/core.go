@@ -145,7 +145,29 @@ type Config struct {
 	// the regional fault/failover machinery. Strictly opt-in: nil leaves
 	// every code path and rng stream exactly as before.
 	Regions *RegionsConfig
+
+	// ShardCount partitions a fleet-scale run (NewShardedFleet) across
+	// this many worker shards advancing in lockstep epochs against a
+	// hub engine that owns the shared substrates — see sim.ShardedEngine.
+	// 0 and 1 both mean one shard. Results are byte-identical at every
+	// shard count: the sharded fleet keys all randomness per UE, never
+	// per shard. Ignored by NewSystem and NewFleet, so existing
+	// configurations change nothing.
+	ShardCount int
+
+	// ShardInterval is the conservative-barrier epoch width in simulated
+	// seconds: cross-shard messages (remote executions and their
+	// replies) are delivered at the next multiple of it. Zero takes
+	// DefaultShardInterval. Smaller intervals tighten the feedback
+	// latency quantisation; larger ones amortise barrier overhead.
+	ShardInterval sim.Duration
 }
+
+// DefaultShardInterval is the ShardInterval a sharded fleet uses when the
+// configuration leaves it zero: half a simulated second, well under the
+// seconds-scale transfer+execution times of the workload mix, so barrier
+// quantisation is negligible against non-time-critical deadlines.
+const DefaultShardInterval sim.Duration = 0.5
 
 // RegionsConfig places the remote substrates on a map of named regions,
 // attaches correlated regional fault schedules, and (optionally) turns on

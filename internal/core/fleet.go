@@ -173,13 +173,17 @@ type FleetStats struct {
 
 // Stats aggregates across the fleet. Per-device histograms merge in device
 // order, so the aggregate is deterministic for a given configuration.
-func (f *Fleet) Stats() FleetStats {
+func (f *Fleet) Stats() FleetStats { return aggregateStats(f.Schedulers) }
+
+// aggregateStats merges per-scheduler statistics in slice order; Fleet and
+// ShardedFleet share it so serial and sharded runs aggregate identically.
+func aggregateStats(scheds []*sched.Scheduler) FleetStats {
 	out := FleetStats{
 		ByPlacement: make(map[model.Placement]uint64),
 		Completion:  metrics.NewLatencyHistogram(),
 	}
 	var meanSum float64
-	for _, s := range f.Schedulers {
+	for _, s := range scheds {
 		st := s.Stats()
 		out.Completed += st.Completed
 		out.Failed += st.Failed

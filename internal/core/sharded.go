@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+
+	"offload/internal/cloudvm"
+	"offload/internal/device"
+	"offload/internal/edge"
+	"offload/internal/model"
+	"offload/internal/network"
+	"offload/internal/rng"
+	"offload/internal/sched"
+	"offload/internal/serverless"
+	"offload/internal/sim"
+	"offload/internal/trace"
+	"offload/internal/workload"
+)
+
+// ShardedFleet is Fleet at million-UE scale: the UEs are partitioned
+// across N worker shards, each owning its devices' event heap, advancing
+// in lockstep epochs against a hub engine that owns the shared substrates
+// (serverless platform, edge site, VM fleet). Remote executions cross the
+// conservative barrier (sim.ShardedEngine) in canonical order, so results
+// are byte-identical at every shard count — including one shard, which is
+// the serial reference the determinism gate diffs against.
+//
+// Determinism layout: every result-affecting random stream is keyed by UE
+// index (rng.Fork(Derive(seed, 1), ue)), never by shard, and task IDs are
+// offset per UE (ue<<32), so the UE→shard partition cannot influence a
+// single draw or identifier. The hub draws from rng.Fork(seed, 0). See
+// DESIGN.md for the full barrier-protocol argument.
+type ShardedFleet struct {
+	SE *sim.ShardedEngine
+
+	Devices    []*device.Device
+	Schedulers []*sched.Scheduler
+
+	platform *serverless.Platform
+	edge     *edge.Cluster
+	vm       *cloudvm.Fleet
+	hub      *shardHub
+
+	ueSrc    []*rng.Source
+	spanRecs []*trace.SpanRecorder
+
+	cfg Config
+}
+
+// fixedCycles is a Predictor that replays a demand estimate captured
+// earlier: the shard-side scheduler predicts at dispatch time, and the
+// hub-side function pool must size instances with exactly that estimate,
+// not a fresh one from a different predictor state.
+type fixedCycles float64
+
+func (c fixedCycles) PredictCycles(*model.Task) float64 { return float64(c) }
+func (fixedCycles) Observe(*model.Task, float64)        {}
+
+// shardHub executes remote attempts on the hub engine. Its execute method
+// runs hub-side (delivered through the barrier in canonical order) and
+// mirrors the serial scheduler's dispatchTo arms for the three remote
+// substrates.
+type shardHub struct {
+	se   *sim.ShardedEngine
+	pool *sched.FunctionPool
+	edge *edge.Cluster
+	vm   *cloudvm.Fleet
+}
+
+func (h *shardHub) execute(task *model.Task, placement model.Placement, predicted float64, done func(model.ExecReport)) {
+	switch placement {
+	case model.PlaceEdge:
+		h.edge.Execute(task, done)
+	case model.PlaceFunction:
+		// Deploying/resizing the function mutates shared pool state,
+		// which is exactly why this happens hub-side; fixedCycles hands
+		// it the shard-captured prediction the serial path would use.
+		fn, err := h.pool.For(task, fixedCycles(predicted))
+		if err != nil {
+			now := h.se.Hub().Now()
+			done(model.ExecReport{Start: now, End: now, Err: err})
+			return
+		}
+		fn.Execute(task, done)
+	case model.PlaceVM:
+		h.vm.Execute(task, done)
+	default:
+		now := h.se.Hub().Now()
+		done(model.ExecReport{Start: now, End: now,
+			Err: fmt.Errorf("core: sharded hub cannot execute placement %v", placement)})
+	}
+}
+
+// uePort implements sched.RemoteBackends for one UE: it forwards the
+// execution to the hub at the next barrier (keyed by UE index, so
+// delivery order is canonical and shard-count-invariant) and returns the
+// report to the UE's shard at the barrier after the execution finishes.
+type uePort struct {
+	hub   *shardHub
+	shard int
+	key   uint64 // UE index: the canonical cross-shard ordering key
+}
+
+var _ sched.RemoteBackends = (*uePort)(nil)
+
+func (p *uePort) Execute(task *model.Task, placement model.Placement, predicted float64, done func(model.ExecReport)) {
+	h := p.hub
+	h.se.SendToHub(p.shard, p.key, func() {
+		h.execute(task, placement, predicted, func(rep model.ExecReport) {
+			h.se.SendToShard(p.shard, func() { done(rep) })
+		})
+	})
+}
+
+// NewShardedFleet builds n UEs partitioned round-robin (UE i on shard
+// i mod ShardCount) over the configuration's shared substrates. Features
+// that mutate shared or global state from per-UE code paths are not
+// supported at sharded scope and are rejected up front; the supported
+// surface (static policies, retries, prediction noise, DVFS-free local
+// execution) is exactly what the scale experiments use.
+func NewShardedFleet(cfg Config, n int) (*ShardedFleet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: sharded fleet of %d devices", n)
+	}
+	shards := cfg.ShardCount
+	if shards == 0 {
+		shards = 1
+	}
+	if shards < 0 {
+		return nil, fmt.Errorf("core: ShardCount %d negative", cfg.ShardCount)
+	}
+	interval := cfg.ShardInterval
+	if interval == 0 {
+		interval = DefaultShardInterval
+	}
+	if interval < 0 {
+		return nil, fmt.Errorf("core: ShardInterval %v negative", cfg.ShardInterval)
+	}
+	switch {
+	case cfg.Batch != nil || cfg.OffPeakShift:
+		return nil, fmt.Errorf("core: sharded fleet does not support Batch or OffPeakShift")
+	case cfg.Resilience != nil:
+		return nil, fmt.Errorf("core: sharded fleet does not support Resilience")
+	case cfg.Regions != nil:
+		return nil, fmt.Errorf("core: sharded fleet does not support Regions")
+	case cfg.Adapt != nil:
+		return nil, fmt.Errorf("core: sharded fleet does not support Adapt")
+	case cfg.Policy == PolicyBanditUCB || cfg.Policy == PolicyBanditGreedy:
+		return nil, fmt.Errorf("core: sharded fleet does not support bandit policies")
+	case cfg.DailyBudgetUSD > 0:
+		return nil, fmt.Errorf("core: sharded fleet does not support DailyBudgetUSD")
+	case cfg.Fault != nil || cfg.EdgeFault != nil || cfg.VMFault != nil:
+		return nil, fmt.Errorf("core: sharded fleet does not support fault injection")
+	}
+	if err := cfg.Device.Validate(); err != nil {
+		return nil, err
+	}
+
+	se := sim.NewSharded(shards, interval)
+	hubEng := se.Hub()
+	hubSrc := rng.Fork(cfg.Seed, 0)
+	f := &ShardedFleet{SE: se, cfg: cfg}
+
+	var pool *sched.FunctionPool
+	if cfg.Serverless != nil {
+		if cfg.CloudPath == nil {
+			return nil, fmt.Errorf("core: serverless configured without a cloud path")
+		}
+		f.platform = serverless.NewPlatform(hubEng, hubSrc.Split(), *cfg.Serverless)
+		pool = sched.NewFunctionPool(f.platform)
+		pool.ArrivalRateHint = cfg.ArrivalRateHint * float64(n)
+		pool.RedeployTolerance = cfg.RedeployTolerance
+		pool.ProvisionedConcurrency = cfg.ProvisionedConcurrency
+	}
+	if cfg.Edge != nil {
+		if cfg.EdgePath == nil {
+			return nil, fmt.Errorf("core: edge configured without an edge path")
+		}
+		f.edge = edge.New(hubEng, *cfg.Edge)
+	}
+	if cfg.VM != nil {
+		if cfg.CloudPath == nil {
+			return nil, fmt.Errorf("core: VM configured without a cloud path")
+		}
+		f.vm = cloudvm.New(hubEng, *cfg.VM)
+	}
+	f.hub = &shardHub{se: se, pool: pool, edge: f.edge, vm: f.vm}
+
+	// Per-UE rng base: Derive(seed, 1) so the hub stream (Fork(seed, 0))
+	// and UE streams can never collide whatever n is.
+	ueBase := rng.Derive(cfg.Seed, 1)
+
+	for i := 0; i < n; i++ {
+		sidx := i % shards
+		eng := se.Shard(sidx)
+		src := rng.Fork(ueBase, uint64(i))
+		f.ueSrc = append(f.ueSrc, src)
+
+		devCfg := cfg.Device
+		devCfg.Name = fmt.Sprintf("%s-%04d", cfg.Device.Name, i)
+		env := &sched.Env{
+			Eng:    eng,
+			Device: device.New(eng, devCfg),
+			Remote: &uePort{hub: f.hub, shard: sidx, key: uint64(i)},
+		}
+		if f.edge != nil {
+			env.Edge = f.edge
+			env.EdgePath = network.New(eng, src.Split(), *cfg.EdgePath)
+		}
+		if pool != nil {
+			env.Functions = pool
+			env.CloudPath = network.New(eng, src.Split(), *cfg.CloudPath)
+		}
+		if f.vm != nil {
+			env.VM = f.vm
+			if env.CloudPath == nil {
+				env.CloudPath = network.New(eng, src.Split(), *cfg.CloudPath)
+			}
+		}
+		policy, _, err := buildPolicy(cfg, src)
+		if err != nil {
+			return nil, err
+		}
+		var pred sched.Predictor = sched.NewPerApp(0.3)
+		if cfg.PredictionNoise > 0 {
+			pred = sched.NewNoisy(pred, src.Split(), cfg.PredictionNoise)
+		}
+		var opts []sched.Option
+		if cfg.Retries > 1 {
+			backoff := cfg.RetryBackoff
+			if backoff <= 0 {
+				backoff = 1
+			}
+			opts = append(opts, sched.WithRetries(sched.RetryPolicy{MaxAttempts: cfg.Retries, Backoff: backoff}))
+		}
+		s, err := sched.New(env, policy, pred, opts...)
+		if err != nil {
+			return nil, err
+		}
+		f.Devices = append(f.Devices, env.Device)
+		f.Schedulers = append(f.Schedulers, s)
+	}
+	return f, nil
+}
+
+// Size returns the number of devices.
+func (f *ShardedFleet) Size() int { return len(f.Devices) }
+
+// Shards returns the number of worker shards.
+func (f *ShardedFleet) Shards() int { return f.SE.NumShards() }
+
+// Platform returns the shared serverless platform, or nil.
+func (f *ShardedFleet) Platform() *serverless.Platform { return f.platform }
+
+// Submit gives every UE its own generator clone over the standard
+// template mix (task IDs offset by ue<<32, globally unique and
+// shard-count-invariant) and an arrival process built from a per-UE
+// stream, then schedules count tasks per UE on the UE's shard engine.
+func (f *ShardedFleet) Submit(count int, arrivals func(src *rng.Source, ue int) workload.Arrivals) error {
+	// The prototype only carries the template mix; its stream is never
+	// drawn from, so any seed works.
+	proto, err := workload.StandardMix(rng.New(0))
+	if err != nil {
+		return err
+	}
+	shards := f.SE.NumShards()
+	for i, s := range f.Schedulers {
+		src := f.ueSrc[i]
+		gen := proto.Clone(src.Split(), model.TaskID(uint64(i))<<32)
+		workload.Stream(f.SE.Shard(i%shards), arrivals(src.Split(), i), gen, count, s.Submit)
+	}
+	return nil
+}
+
+// SubmitStreams mirrors Fleet.SubmitStreams: Poisson arrivals at the
+// given per-UE rate, count tasks per UE.
+func (f *ShardedFleet) SubmitStreams(rate float64, tasksPerDevice int) error {
+	return f.Submit(tasksPerDevice, func(src *rng.Source, _ int) workload.Arrivals {
+		return workload.NewPoisson(src, rate)
+	})
+}
+
+// Run drives the sharded simulation to completion.
+func (f *ShardedFleet) Run() { f.SE.Run() }
+
+// Events returns the total number of events fired across the hub and
+// every shard. The global event set is partition-invariant, so the count
+// is identical at every shard count.
+func (f *ShardedFleet) Events() uint64 {
+	total := f.SE.Hub().Fired()
+	for i := 0; i < f.SE.NumShards(); i++ {
+		total += f.SE.Shard(i).Fired()
+	}
+	return total
+}
+
+// Stats aggregates across the fleet exactly as Fleet.Stats does, in UE
+// order.
+func (f *ShardedFleet) Stats() FleetStats { return aggregateStats(f.Schedulers) }
+
+// EnableSpans attaches one span recorder per shard (each single-threaded
+// on its shard) to every scheduler's causal hook points. Call before Run;
+// idempotent. SpanSet merges the per-shard recordings canonically.
+func (f *ShardedFleet) EnableSpans() {
+	if f.spanRecs != nil {
+		return
+	}
+	f.spanRecs = make([]*trace.SpanRecorder, f.SE.NumShards())
+	for i := range f.spanRecs {
+		f.spanRecs[i] = trace.NewSpanRecorder()
+		f.spanRecs[i].SetMeta("run", string(f.cfg.Policy))
+	}
+	for i, s := range f.Schedulers {
+		s.SetTracer(f.spanRecs[i%len(f.spanRecs)])
+	}
+}
+
+// SpanSet returns the merged, canonically renumbered spans from every
+// shard recorder, or nil when EnableSpans was never called. The merge is
+// byte-identical at every shard count (trace.MergeSets).
+func (f *ShardedFleet) SpanSet() *trace.SpanSet {
+	if f.spanRecs == nil {
+		return nil
+	}
+	sets := make([]*trace.SpanSet, len(f.spanRecs))
+	for i, r := range f.spanRecs {
+		sets[i] = r.Set()
+	}
+	return trace.MergeSets("run", string(f.cfg.Policy), sets...)
+}

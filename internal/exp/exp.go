@@ -22,8 +22,14 @@ import (
 type Scale struct {
 	Tasks       int    // tasks per cell
 	RandomSeeds int    // replications / random instances
-	Devices     int    // E9 fleet bound
+	Devices     int    // E9/E21 fleet bound
 	Seed        uint64 // base RNG seed
+
+	// Shards partitions the sharded-engine experiments (E21) across this
+	// many worker shards (core.ShardedFleet). 0 and 1 both mean one
+	// shard; results are byte-identical at every value, which the
+	// determinism gate exploits by diffing -shards 1 against -shards 7.
+	Shards int
 
 	// Obs, when non-nil, makes every simulated cell sample a time series
 	// and bank its end-of-run metrics registry. Observability only — it
@@ -83,6 +89,7 @@ func Registry() []Experiment {
 		{ID: "E18", Claim: "span-level attribution explains completion time and accounts every dollar", Run: E18Attribution},
 		{ID: "E19", Claim: "online adaptation tracks regime drift within bounded regret of the static-best oracle", Run: E19Adaptive},
 		{ID: "E20", Claim: "regional failover with graceful degradation survives disasters fail-fast cannot", Run: E20Failover},
+		{ID: "E21", Claim: "the sharded engine drives million-UE flash crowds deterministically at any shard count", Run: E21FlashCrowd},
 	}
 	for i := range reg {
 		reg[i].Seq = i

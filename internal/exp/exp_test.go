@@ -53,8 +53,8 @@ func num(t *testing.T, cell string) float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 20 {
-		t.Fatalf("registry has %d experiments, want 20", len(reg))
+	if len(reg) != 21 {
+		t.Fatalf("registry has %d experiments, want 21", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {
@@ -821,6 +821,63 @@ func TestE20Shape(t *testing.T) {
 		}
 		if v := num(t, r[fail]); v != 0 {
 			t.Errorf("%s/%s failed %.1f%% of tasks, want 0%%", r[scenario], r[strategy], v)
+		}
+	}
+}
+
+func TestE21Shape(t *testing.T) {
+	tables, err := E21FlashCrowd(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("E21 produced %d tables, want 1", len(tables))
+	}
+	header, data := rows(t, tables[0])
+	if len(data) != 1 {
+		t.Fatalf("E21 has %d rows, want 1", len(data))
+	}
+	r := data[0]
+	devices := col(t, header, "devices")
+	tasks := col(t, header, "tasks")
+	windows := col(t, header, "windows")
+	miss := col(t, header, "miss")
+	// 50× the E9 quick fleet, all tasks accounted for.
+	if r[devices] != "2500" {
+		t.Errorf("devices = %s, want 2500", r[devices])
+	}
+	if r[tasks] != "10000" {
+		t.Errorf("tasks = %s, want 2500 devices x 4", r[tasks])
+	}
+	// The flash crowd is absorbed: generous non-time-critical deadlines
+	// keep the miss rate at zero even with every UE stampeding at once.
+	if v := num(t, r[miss]); v != 0 {
+		t.Errorf("miss rate %.2f%%, want 0%%", v)
+	}
+	// The barrier actually ran epochs (idle-skip keeps it near the busy
+	// windows, but a flash crowd plus calm tails spans many).
+	if v := num(t, r[windows]); v <= 10 {
+		t.Errorf("only %.0f executed windows, want a real epoch stream", v)
+	}
+}
+
+// TestE21ShardCountInvariance is the experiment-level determinism gate:
+// the full rendered table (and its CSV) must be byte-identical whatever
+// the shard count, including the serial reference.
+func TestE21ShardCountInvariance(t *testing.T) {
+	render := func(shards int) string {
+		s := Quick()
+		s.Shards = shards
+		tables, err := E21FlashCrowd(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tables[0].String() + "\n" + tables[0].CSV()
+	}
+	ref := render(1)
+	for _, shards := range []int{2, 4, 7} {
+		if got := render(shards); got != ref {
+			t.Errorf("shards=%d output diverged from serial:\n%s\nvs\n%s", shards, got, ref)
 		}
 	}
 }

@@ -67,7 +67,9 @@ type Runner struct {
 	// Parallel is the worker-pool size; <= 0 means runtime.NumCPU().
 	Parallel int
 	// OnResult, if non-nil, is invoked as each experiment finishes, in
-	// completion order (not suite order). Calls are serialized.
+	// completion order (not suite order). Calls are serialized through a
+	// single delivery goroutine, never made from worker goroutines, so a
+	// callback's writes (e.g. progress lines to stderr) can never tear.
 	OnResult func(Result)
 	// ObserveEvery, when positive, attaches a sim-time observer to every
 	// simulated cell (see Observation) and fills each Result's Series and
@@ -102,7 +104,7 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment) ([]Result, error) {
 	jobs := make(chan int)
 	var (
 		wg       sync.WaitGroup
-		mu       sync.Mutex // guards firstErr and OnResult calls
+		mu       sync.Mutex // guards firstErr
 		firstErr error
 	)
 	fail := func(err error) {
@@ -112,6 +114,29 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment) ([]Result, error) {
 		}
 		mu.Unlock()
 		cancel()
+	}
+
+	// Workers hand finished Results to a single consumer goroutine, which
+	// is the only caller of OnResult. Funnelling the callback through one
+	// goroutine — instead of invoking it from whichever worker finished —
+	// is what keeps progress lines written by OnResult from interleaving
+	// mid-line on stderr under -parallel: each callback (and therefore each
+	// write it performs) fully completes before the next one starts.
+	resCh := make(chan Result, len(exps))
+	var consumer sync.WaitGroup
+	if r.OnResult != nil {
+		consumer.Add(1)
+		go func() {
+			defer consumer.Done()
+			for res := range resCh {
+				r.OnResult(res)
+			}
+		}()
+	}
+	deliver := func(res Result) {
+		if r.OnResult != nil {
+			resCh <- res
+		}
 	}
 
 	for w := 0; w < workers; w++ {
@@ -127,11 +152,7 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment) ([]Result, error) {
 						Skipped: true,
 					}
 					results[idx] = res
-					if r.OnResult != nil {
-						mu.Lock()
-						r.OnResult(res)
-						mu.Unlock()
-					}
+					deliver(res)
 					continue
 				}
 				res := r.runOne(e)
@@ -139,11 +160,7 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment) ([]Result, error) {
 				if res.Err != nil {
 					fail(res.Err)
 				}
-				if r.OnResult != nil {
-					mu.Lock()
-					r.OnResult(res)
-					mu.Unlock()
-				}
+				deliver(res)
 			}
 		}()
 	}
@@ -152,6 +169,8 @@ func (r *Runner) Run(ctx context.Context, exps []Experiment) ([]Result, error) {
 	}
 	close(jobs)
 	wg.Wait()
+	close(resCh)
+	consumer.Wait()
 
 	if firstErr == nil && ctx.Err() != nil {
 		firstErr = context.Cause(ctx)

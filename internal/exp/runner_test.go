@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -240,14 +241,27 @@ func TestRunnerOnResultSerialized(t *testing.T) {
 		exps = append(exps, fakeExperiment(fmt.Sprintf("X%d", i), i))
 	}
 	var seen []string
+	var depth atomic.Int32
 	r := &Runner{
 		Scale:    Scale{Seed: 1},
 		Parallel: 4,
-		OnResult: func(res Result) { seen = append(seen, res.ID) },
+		OnResult: func(res Result) {
+			// Overlap detector: a second OnResult entering while one is
+			// still running means delivery is not serialized. The sleep
+			// widens the window so an unserialized runner fails reliably.
+			if depth.Add(1) > 1 {
+				t.Error("OnResult entered concurrently")
+			}
+			time.Sleep(200 * time.Microsecond)
+			seen = append(seen, res.ID)
+			depth.Add(-1)
+		},
 	}
 	if _, err := r.Run(context.Background(), exps); err != nil {
 		t.Fatal(err)
 	}
+	// Run must not return before every delivery completed: seen is written
+	// only inside OnResult, with no synchronization of its own.
 	if len(seen) != len(exps) {
 		t.Fatalf("OnResult fired %d times, want %d", len(seen), len(exps))
 	}

@@ -186,8 +186,8 @@ type RegionAwarePolicy interface {
 
 // FailoverStats counts what the failover layer did to tasks.
 type FailoverStats struct {
-	Shed      uint64 // low-priority tasks parked by the ladder
-	Queued    uint64 // normal-priority tasks parked by queue-and-wait (or no alternative)
+	Shed      uint64 // distinct low-priority tasks parked by the ladder (drain re-parks don't re-count)
+	Queued    uint64 // distinct normal-priority tasks parked by queue-and-wait (or no alternative)
 	ReHomed   uint64 // tasks re-dispatched to a surviving region
 	Localized uint64 // tasks forced onto the device (critical rung, last resort, flush)
 	Lost      uint64 // tasks dropped because the wait queue overflowed
@@ -257,6 +257,7 @@ type failover struct {
 	remote      []model.Placement // env's remote placements, canonical order
 
 	waitq    []waiting
+	draining bool // set while drain re-routes the queue: re-parks must not re-count
 	lastRung DegradationMode
 
 	nDown          int
@@ -568,6 +569,13 @@ func (f *failover) park(task *model.Task, p model.Placement, shed bool) {
 		return
 	}
 	f.waitq = append(f.waitq, waiting{task: task, placement: p})
+	if f.draining {
+		// A drain re-park: the task was already counted when it first
+		// entered the queue. Counting it again would inflate Shed/Queued
+		// by one per drain the incident survives, breaking the
+		// one-count-per-task identity the tables rely on.
+		return
+	}
 	if shed {
 		f.stats.Shed++
 	} else {
@@ -576,13 +584,16 @@ func (f *failover) park(task *model.Task, p model.Placement, shed bool) {
 }
 
 // drain re-routes every parked task in FIFO order; called when a region
-// recovers. Tasks whose target is still down simply park again.
+// recovers. Tasks whose target is still down simply park again — without
+// re-incrementing the park counters (see park).
 func (f *failover) drain() {
 	q := f.waitq
 	f.waitq = nil
+	f.draining = true
 	for _, w := range q {
 		f.route(w.task, w.placement)
 	}
+	f.draining = false
 }
 
 // observe feeds one genuine attempt outcome into the health tracker:

@@ -245,6 +245,89 @@ func TestFlushLocalizesStrandedWork(t *testing.T) {
 	}
 }
 
+// TestDrainTwiceMidIncidentCountsOnce is the double-settle regression:
+// a drain whose targets are still down re-parks every task, and before
+// the fix each re-park re-incremented Shed/Queued — so a task parked
+// through two mid-incident drains counted three times in the park
+// ledger, and the cost identity (one settle, one count per task) broke.
+// Two explicit drains mid-incident must leave the counters where the
+// first park put them, and every task must still settle exactly once.
+func TestDrainTwiceMidIncidentCountsOnce(t *testing.T) {
+	env := twoRegionEnv(t, fault.Window{Start: 0, Duration: 1e4})
+	// Both remotes homed in east: a drain can never move parked work, it
+	// can only re-park it — the worst case for double counting.
+	fo := Failover{
+		Regions: map[model.Placement]string{
+			model.PlaceFunction: "east",
+			model.PlaceVM:       "east",
+		},
+		FailureThreshold: 2,
+		ProbeEvery:       5,
+		Ladder:           &Ladder{ShedLowAfter: 0},
+	}
+	s, err := New(env, CloudAll{}, Exact{},
+		WithRetries(RetryPolicy{MaxAttempts: 5, Backoff: 1}),
+		WithFailover(fo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	settled := map[model.TaskID]int{}
+	s.onDone = func(o model.Outcome) {
+		if o.Task != nil {
+			settled[o.Task.ID]++
+		}
+	}
+	const n = 4
+	for i := 1; i <= n; i++ {
+		task := heavyTask(model.TaskID(i))
+		task.Cycles = 1e9
+		task.Priority = model.PriorityLow
+		s.Submit(task)
+	}
+	env.Eng.RunUntil(50)
+	if got := s.FailoverQueueLen(); got != n {
+		t.Fatalf("%d tasks parked by t=50, want %d", got, n)
+	}
+	before := s.FailoverStats()
+
+	// Two mid-incident drains — in production a sibling region recovering
+	// while east stays dark. Every task re-parks both times.
+	env.Eng.At(60, func() { s.fo.drain() })
+	env.Eng.At(70, func() { s.fo.drain() })
+	env.Eng.RunUntil(80)
+
+	if got := s.FailoverQueueLen(); got != n {
+		t.Fatalf("%d tasks parked after two drains, want %d still parked", got, n)
+	}
+	after := s.FailoverStats()
+	if after.Shed != before.Shed || after.Queued != before.Queued {
+		t.Fatalf("drain re-parks re-counted: Shed %d→%d, Queued %d→%d",
+			before.Shed, after.Shed, before.Queued, after.Queued)
+	}
+	if after.Lost != 0 || after.Localized != before.Localized {
+		t.Fatalf("drains leaked tasks: Lost=%d, Localized %d→%d",
+			after.Lost, before.Localized, after.Localized)
+	}
+
+	// Flush ends the run: each task is localized once and settles once.
+	if got := s.FlushFailover(); got != n {
+		t.Fatalf("flush localized %d tasks, want %d", got, n)
+	}
+	env.Eng.RunUntil(500)
+	fs := s.FailoverStats()
+	if fs.Localized != before.Localized+n {
+		t.Fatalf("Localized = %d after flush, want %d", fs.Localized, before.Localized+n)
+	}
+	if len(settled) != n {
+		t.Fatalf("%d distinct tasks settled, want %d", len(settled), n)
+	}
+	for id, c := range settled {
+		if c != 1 {
+			t.Fatalf("task %d settled %d times, want exactly once", id, c)
+		}
+	}
+}
+
 // TestLadderQueueOverflowLoses pins the only loss path the ladder has: a
 // full wait queue.
 func TestLadderQueueOverflowLoses(t *testing.T) {

@@ -36,6 +36,26 @@ type Env struct {
 	VM *cloudvm.Fleet
 	// VMPath defaults to CloudPath when nil: VMs live in the same region.
 	VMPath *network.Path
+
+	// Remote, when non-nil, intercepts remote EXECUTION only: instead of
+	// invoking the substrate executor on this engine, dispatchTo hands
+	// (task, placement, predicted cycles, completion callback) to Remote.
+	// The sharded fleet (core.ShardedFleet) uses this to run the network
+	// transfer legs on the UE's shard engine while the substrate executes
+	// on the hub engine across the conservative barrier. Reads — policy
+	// decisions, queue lengths, estimates, Available — still go straight
+	// at the substrate pointers above, which the sharded runtime keeps
+	// quiescent while shard code runs.
+	Remote RemoteBackends
+}
+
+// RemoteBackends executes one remote attempt on behalf of the scheduler.
+// predictedCycles is the scheduler's demand estimate at dispatch time,
+// captured on the shard so the hub-side function pool sizes instances
+// exactly as the serial path would. done must eventually be invoked with
+// the execution report; the implementation decides on which engine.
+type RemoteBackends interface {
+	Execute(task *model.Task, placement model.Placement, predictedCycles float64, done func(model.ExecReport))
 }
 
 // Validate reports whether the environment is coherent.
@@ -316,10 +336,20 @@ func (s *Scheduler) dispatchTo(task *model.Task, placement model.Placement, done
 			s.fail(task, placement, done)
 			return
 		}
+		if s.env.Remote != nil {
+			s.runRemoteShared(task, placement, s.env.EdgePath, done)
+			return
+		}
 		s.runRemote(task, placement, s.env.Edge, s.env.EdgePath, done)
 	case model.PlaceFunction:
 		if s.env.Functions == nil {
 			s.fail(task, placement, done)
+			return
+		}
+		if s.env.Remote != nil {
+			// Pool deploy/resize mutates shared state, so it happens on the
+			// hub (inside Remote.Execute), not here on the shard.
+			s.runRemoteShared(task, placement, s.env.CloudPath, done)
 			return
 		}
 		fn, err := s.env.Functions.For(task, s.pred)
@@ -333,10 +363,37 @@ func (s *Scheduler) dispatchTo(task *model.Task, placement model.Placement, done
 			s.fail(task, placement, done)
 			return
 		}
+		if s.env.Remote != nil {
+			s.runRemoteShared(task, placement, s.env.vmPath(), done)
+			return
+		}
 		s.runRemote(task, placement, s.env.VM, s.env.vmPath(), done)
 	default:
 		s.fail(task, placement, done)
 	}
+}
+
+// remoteExec adapts env.Remote to model.Executor for one attempt.
+type remoteExec struct {
+	s         *Scheduler
+	placement model.Placement
+	predicted float64
+}
+
+func (r remoteExec) Name() string               { return "remote:" + r.placement.String() }
+func (r remoteExec) Placement() model.Placement { return r.placement }
+func (r remoteExec) Execute(task *model.Task, done func(model.ExecReport)) {
+	r.s.env.Remote.Execute(task, r.placement, r.predicted, done)
+}
+
+// runRemoteShared is runRemote with execution routed through env.Remote.
+// The demand prediction is captured here, at dispatch time on the shard,
+// so the hub sizes serverless instances with exactly the estimate the
+// serial path would have used.
+func (s *Scheduler) runRemoteShared(task *model.Task, placement model.Placement, path *network.Path, done func(model.Outcome)) {
+	s.runRemote(task, placement, remoteExec{
+		s: s, placement: placement, predicted: s.pred.PredictCycles(task),
+	}, path, done)
 }
 
 func (s *Scheduler) fail(task *model.Task, placement model.Placement, done func(model.Outcome)) {

@@ -61,13 +61,15 @@ type EventRef struct {
 // yet fired and not cancelled.
 func (r EventRef) Scheduled() bool { return r.ev != nil && r.ev.gen == r.gen }
 
-// Time returns the virtual time the event is scheduled for, or zero if
-// the ref no longer refers to a pending event.
-func (r EventRef) Time() Time {
+// Time returns the virtual time the event is scheduled for. The second
+// return is false when the ref no longer refers to a pending event —
+// fired, cancelled, or the zero ref. Callers must check it: a genuine
+// event pending at t=0 is otherwise indistinguishable from a stale ref.
+func (r EventRef) Time() (Time, bool) {
 	if r.Scheduled() {
-		return r.ev.at
+		return r.ev.at, true
 	}
-	return 0
+	return 0, false
 }
 
 // eventBlock is how many events one pool refill allocates. Block

@@ -255,15 +255,15 @@ func TestFiredEventRefGoesStale(t *testing.T) {
 	}
 }
 
-// TestZeroEventRef pins the zero value's behaviour: unscheduled, zero
+// TestZeroEventRef pins the zero value's behaviour: unscheduled, no
 // time, Cancel is a no-op.
 func TestZeroEventRef(t *testing.T) {
 	var ref EventRef
 	if ref.Scheduled() {
 		t.Fatal("zero EventRef reports Scheduled")
 	}
-	if ref.Time() != 0 {
-		t.Fatalf("zero EventRef Time = %v", ref.Time())
+	if at, ok := ref.Time(); ok {
+		t.Fatalf("zero EventRef Time = (%v, true), want ok=false", at)
 	}
 	NewEngine().Cancel(ref)
 }
@@ -272,8 +272,31 @@ func TestZeroEventRef(t *testing.T) {
 func TestRefTimeWhilePending(t *testing.T) {
 	e := NewEngine()
 	ref := e.After(3, func() {})
-	if ref.Time() != 3 {
-		t.Fatalf("ref.Time() = %v, want 3", ref.Time())
+	if at, ok := ref.Time(); !ok || at != 3 {
+		t.Fatalf("ref.Time() = (%v, %v), want (3, true)", at, ok)
+	}
+}
+
+// TestRefTimeAtZeroDistinguishesStale is the regression test for the
+// stale-ref ambiguity: an event genuinely pending at t=0 must report
+// (0, true), and the same ref after Cancel must report ok=false — the
+// old single-value Time() returned 0 in both cases, so a caller could
+// not tell a live t=0 schedule from a dead ref.
+func TestRefTimeAtZeroDistinguishesStale(t *testing.T) {
+	e := NewEngine()
+	ref := e.At(0, func() {})
+	if at, ok := ref.Time(); !ok || at != 0 {
+		t.Fatalf("pending t=0 event: Time() = (%v, %v), want (0, true)", at, ok)
+	}
+	e.Cancel(ref)
+	if at, ok := ref.Time(); ok {
+		t.Fatalf("cancelled t=0 event: Time() = (%v, true), want ok=false", at)
+	}
+	// A fired event's ref must go stale the same way.
+	ref2 := e.At(0, func() {})
+	e.Run()
+	if at, ok := ref2.Time(); ok {
+		t.Fatalf("fired t=0 event: Time() = (%v, true), want ok=false", at)
 	}
 }
 

@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// ShardedEngine runs one simulation across N shard engines plus a hub
+// engine, synchronized by a conservative time barrier. Each shard owns a
+// disjoint set of simulation entities (in this repository: UEs — their
+// devices, network paths and schedulers); the hub owns every shared
+// substrate (serverless platform, edge cluster, VM fleet). Time advances
+// in lockstep epochs of a fixed interval:
+//
+//	epoch e:
+//	  phase A  every shard runs its events in (e·Δ, (e+1)·Δ] — shard
+//	           phases may run on parallel goroutines, because shards
+//	           never touch each other's state. Calls against hub-owned
+//	           substrates are buffered via SendToHub, not executed.
+//	  barrier  buffered shard→hub messages are sorted into the canonical
+//	           (time, key, seq) order and injected into the hub's queue.
+//	  phase B  the hub runs its events in (e·Δ, (e+1)·Δ] serially.
+//	           Replies to shards (SendToShard) are buffered and delivered
+//	           at the start of the next epoch's phase A, in hub order.
+//
+// Determinism at any shard count — including N=1 — follows from three
+// properties. First, every result-affecting random stream is keyed to an
+// entity (a UE), never to a shard, so partitioning cannot move draws
+// between streams. Second, the canonical barrier order depends only on
+// (send time, entity key, per-sender send order), all of which are
+// independent of which shard an entity landed on. Third, shards read
+// hub-owned state only while the hub is quiescent (phase A), so every
+// shard observes the same barrier-frozen snapshot regardless of shard
+// count or goroutine interleaving. See DESIGN.md for the full argument.
+//
+// The one semantic relaxation versus a single serial engine: a reply
+// crossing hub→shard becomes visible at the next epoch boundary, so
+// cross-engine feedback latency is quantized up to one interval. The
+// relaxation is identical at every shard count.
+type ShardedEngine struct {
+	hub      *Engine
+	shards   []*Engine
+	interval Duration
+
+	epoch   uint64 // index of the epoch currently (or next) being run
+	windows uint64 // epoch windows actually executed (idle epochs are skipped)
+
+	outbox [][]hubMsg   // per-shard shard→hub buffers, filled in phase A
+	outSeq []uint64     // per-shard send counters, monotone over the run
+	inbox  [][]shardMsg // per-shard hub→shard buffers, filled in phase B
+	merged []hubMsg     // barrier scratch: canonical sort happens here
+}
+
+// hubMsg is one buffered shard→hub submission.
+type hubMsg struct {
+	at    Time   // shard clock at send time
+	key   uint64 // canonical entity key (shard-count-independent)
+	seq   uint64 // per-shard send counter: orders same-(at,key) sends
+	shard int    // sender; last-resort tiebreak, see merge
+	fn    func()
+}
+
+// shardMsg is one buffered hub→shard reply, delivered in hub send order.
+type shardMsg struct {
+	fn func()
+}
+
+// NewSharded returns a sharded engine with n shard engines and the given
+// barrier interval. It panics if n < 1 or interval <= 0.
+func NewSharded(n int, interval Duration) *ShardedEngine {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: NewSharded with %d shards", n))
+	}
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: NewSharded with interval %v", interval))
+	}
+	se := &ShardedEngine{
+		hub:      NewEngine(),
+		shards:   make([]*Engine, n),
+		interval: interval,
+		outbox:   make([][]hubMsg, n),
+		outSeq:   make([]uint64, n),
+		inbox:    make([][]shardMsg, n),
+	}
+	for i := range se.shards {
+		se.shards[i] = NewEngine()
+	}
+	return se
+}
+
+// Hub returns the engine that owns the shared substrates.
+func (se *ShardedEngine) Hub() *Engine { return se.hub }
+
+// Shard returns shard i's engine.
+func (se *ShardedEngine) Shard(i int) *Engine { return se.shards[i] }
+
+// NumShards returns the shard count.
+func (se *ShardedEngine) NumShards() int { return len(se.shards) }
+
+// Interval returns the barrier interval.
+func (se *ShardedEngine) Interval() Duration { return se.interval }
+
+// Epoch returns the index of the next epoch to run; after Run it is one
+// past the last executed epoch. Idle-skipped epochs count, so this can
+// be much larger than Windows.
+func (se *ShardedEngine) Epoch() uint64 { return se.epoch }
+
+// Windows returns how many epoch windows were actually executed; idle
+// stretches the skip optimization jumped over are excluded.
+func (se *ShardedEngine) Windows() uint64 { return se.windows }
+
+// SendToHub buffers fn for execution on the hub engine at the sending
+// shard's current time. Call it only from shard-side code during phase A.
+// key must identify the owning entity (the UE index here) and an entity
+// must live on exactly one shard: the barrier delivers buffered messages
+// in (time, key, send order) — an order independent of the entity→shard
+// assignment — before the hub runs the epoch's window.
+func (se *ShardedEngine) SendToHub(shard int, key uint64, fn func()) {
+	if fn == nil {
+		panic("sim: SendToHub with nil callback")
+	}
+	se.outSeq[shard]++
+	se.outbox[shard] = append(se.outbox[shard], hubMsg{
+		at:    se.shards[shard].Now(),
+		key:   key,
+		seq:   se.outSeq[shard],
+		shard: shard,
+		fn:    fn,
+	})
+}
+
+// SendToShard buffers fn for delivery to the shard at the start of the
+// next epoch. Call it only from hub-side code during phase B; delivery
+// preserves hub send order, and fn runs with the shard's clock at the
+// epoch boundary (it may schedule further shard events).
+func (se *ShardedEngine) SendToShard(shard int, fn func()) {
+	if fn == nil {
+		panic("sim: SendToShard with nil callback")
+	}
+	se.inbox[shard] = append(se.inbox[shard], shardMsg{fn: fn})
+}
+
+// epochEnd returns the closing boundary of the current epoch.
+func (se *ShardedEngine) epochEnd() Time {
+	return Time(float64(se.epoch+1) * float64(se.interval))
+}
+
+// anyMail reports whether any cross-engine message is waiting.
+func (se *ShardedEngine) anyMail() bool {
+	for _, b := range se.inbox {
+		if len(b) > 0 {
+			return true
+		}
+	}
+	for _, b := range se.outbox {
+		if len(b) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// nextEventTime returns the earliest pending event across every engine,
+// or +Inf when all queues are drained.
+func (se *ShardedEngine) nextEventTime() Time {
+	next := se.hub.NextEventTime()
+	for _, s := range se.shards {
+		if t := s.NextEventTime(); t < next {
+			next = t
+		}
+	}
+	return next
+}
+
+// Run drives the simulation until every engine's queue is drained and no
+// cross-engine messages remain buffered. Epochs with no events anywhere
+// are skipped in one jump, so sparse simulations don't pay per-epoch
+// overhead for idle time; the skip decision depends only on the global
+// earliest event, which is the same at every shard count.
+func (se *ShardedEngine) Run() {
+	for {
+		if !se.anyMail() {
+			next := se.nextEventTime()
+			if math.IsInf(float64(next), 1) {
+				return
+			}
+			if k := se.epochOf(next); k > se.epoch {
+				se.epoch = k
+			}
+		}
+		end := se.epochEnd()
+		se.runShards(end)
+		se.flushToHub()
+		se.hub.RunUntil(end)
+		se.epoch++
+		se.windows++
+	}
+}
+
+// epochOf returns the epoch whose window (k·Δ, (k+1)·Δ] contains t.
+func (se *ShardedEngine) epochOf(t Time) uint64 {
+	k := float64(t) / float64(se.interval)
+	if k <= 0 {
+		return 0
+	}
+	if k >= math.MaxUint64/2 {
+		// Events absurdly far in the future: advance epoch-by-epoch rather
+		// than overflow the conversion.
+		return se.epoch
+	}
+	e := uint64(k)
+	// An event exactly on boundary e·Δ belongs to the window ending there.
+	if float64(e) == k && e > 0 {
+		e--
+	}
+	return e
+}
+
+// runShards delivers each shard's buffered hub replies and runs its
+// window up to end. With more than one shard the phases run on parallel
+// goroutines; shard state is disjoint and hub state is frozen, so the
+// interleaving cannot affect results.
+func (se *ShardedEngine) runShards(end Time) {
+	if len(se.shards) == 1 {
+		se.runShard(0, end)
+		return
+	}
+	var wg sync.WaitGroup
+	for i := range se.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			se.runShard(i, end)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func (se *ShardedEngine) runShard(i int, end Time) {
+	msgs := se.inbox[i]
+	for _, m := range msgs {
+		m.fn()
+	}
+	for j := range msgs {
+		msgs[j] = shardMsg{} // release delivered closures
+	}
+	se.inbox[i] = msgs[:0]
+	se.shards[i].RunUntil(end)
+}
+
+// flushToHub is the barrier: it merges every shard's outbox into the
+// canonical (time, key, seq) order and injects the messages into the
+// hub's queue. Injection order becomes hub heap order for same-instant
+// events, so the canonical order is exactly the hub's execution order.
+func (se *ShardedEngine) flushToHub() {
+	merged := se.merged[:0]
+	for i := range se.outbox {
+		merged = append(merged, se.outbox[i]...)
+		box := se.outbox[i]
+		for j := range box {
+			box[j] = hubMsg{} // release transferred closures
+		}
+		se.outbox[i] = box[:0]
+	}
+	if len(merged) == 0 {
+		se.merged = merged
+		return
+	}
+	sort.Slice(merged, func(a, b int) bool {
+		x, y := &merged[a], &merged[b]
+		if x.at != y.at {
+			return x.at < y.at
+		}
+		if x.key != y.key {
+			return x.key < y.key
+		}
+		if x.seq != y.seq {
+			return x.seq < y.seq
+		}
+		// Unreachable when keys are single-owner (one shard's seq is
+		// strictly monotone); kept so the order is total regardless.
+		return x.shard < y.shard
+	})
+	for i := range merged {
+		se.hub.At(merged[i].at, merged[i].fn)
+	}
+	for i := range merged {
+		merged[i] = hubMsg{}
+	}
+	se.merged = merged[:0]
+}

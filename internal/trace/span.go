@@ -2,6 +2,7 @@ package trace
 
 import (
 	"math"
+	"sort"
 
 	"offload/internal/model"
 	"offload/internal/sim"
@@ -437,6 +438,72 @@ func (r *SpanRecorder) TaskDone(o model.Outcome, at sim.Time) {
 	if r.limit > 0 && len(r.spans) > 2*r.limit {
 		r.compact()
 	}
+}
+
+// MergeSets combines spans from several recorders into one SpanSet in a
+// canonical order, independent of how work was partitioned across the
+// recorders. The sharded fleet records each shard's spans on its own
+// recorder (recorders are single-threaded) and merges at the end; for
+// the merged output to be byte-identical at every shard count, each
+// trace (task) must be recorded wholly by one recorder, and trace IDs
+// must not depend on the partition — both hold for per-UE task IDs.
+//
+// Ordering: spans sort by trace ID, and within a trace by their recorder
+// position (one trace, one recorder, so that position is the recording
+// order the serial run would have produced). Span IDs are renumbered
+// densely in the canonical order, with parent links rewritten to match.
+// Trace-0 (run-scoped event) spans order by start time, then input-set
+// position — deterministic, but only partition-independent when such
+// events are absent, which the sharded fleet's configuration gate
+// guarantees.
+func MergeSets(run, policy string, sets ...*SpanSet) *SpanSet {
+	type entry struct {
+		sp  Span
+		set int
+		pos int
+	}
+	var entries []entry
+	for si, s := range sets {
+		if s == nil {
+			continue
+		}
+		for pi, sp := range s.Spans {
+			entries = append(entries, entry{sp: sp, set: si, pos: pi})
+		}
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := &entries[i], &entries[j]
+		if a.sp.Trace != b.sp.Trace {
+			return a.sp.Trace < b.sp.Trace
+		}
+		if a.set != b.set {
+			if a.sp.Start != b.sp.Start {
+				return a.sp.Start < b.sp.Start
+			}
+			return a.set < b.set
+		}
+		return a.pos < b.pos
+	})
+	// Two passes: IDs first (a root span is appended after its children,
+	// so a child's Parent can name an ID that sorts later), then links.
+	type key struct {
+		set int
+		id  uint64
+	}
+	newID := make(map[key]uint64, len(entries))
+	for i := range entries {
+		newID[key{entries[i].set, entries[i].sp.ID}] = uint64(i + 1)
+	}
+	out := make([]Span, len(entries))
+	for i := range entries {
+		sp := entries[i].sp
+		sp.ID = newID[key{entries[i].set, sp.ID}]
+		if sp.Parent != 0 {
+			sp.Parent = newID[key{entries[i].set, sp.Parent}]
+		}
+		out[i] = sp
+	}
+	return &SpanSet{Run: run, Policy: policy, Spans: out}
 }
 
 // emitGaps walks the task's attempt intervals in start order and emits a

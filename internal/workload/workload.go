@@ -227,7 +227,8 @@ type Generator struct {
 	src       *rng.Source
 	templates []TaskTemplate
 	cum       []float64 // cumulative weights
-	nextID    model.TaskID
+	baseID    model.TaskID
+	nextID    model.TaskID // count of tasks drawn; IDs are baseID+1..baseID+nextID
 }
 
 // WeightedTemplate pairs a template with its share of the mix.
@@ -274,6 +275,16 @@ func StandardMix(src *rng.Source) (*Generator, error) {
 	return NewGenerator(src, mix)
 }
 
+// Clone returns a generator over the same template mix drawing from its
+// own random stream, with task IDs offset by base. Sharded fleets give
+// every UE its own clone: per-UE streams keep draws independent of the
+// UE→shard partition, and a disjoint base per UE (e.g. UE index shifted
+// past any per-UE task count) keeps IDs globally unique and
+// shard-count-invariant. The templates and weights are shared read-only.
+func (g *Generator) Clone(src *rng.Source, base model.TaskID) *Generator {
+	return &Generator{src: src, templates: g.templates, cum: g.cum, baseID: base}
+}
+
 // Next draws one task submitted at now.
 func (g *Generator) Next(now sim.Time) *model.Task {
 	u := g.src.Float64()
@@ -289,7 +300,7 @@ func (g *Generator) Next(now sim.Time) *model.Task {
 		scale = g.src.LogNormal(-t.CyclesSigma*t.CyclesSigma/2, t.CyclesSigma)
 	}
 	return &model.Task{
-		ID:               g.nextID,
+		ID:               g.baseID + g.nextID,
 		App:              t.App,
 		InputBytes:       int64(float64(t.InputBytes) * scale),
 		OutputBytes:      int64(float64(t.OutputBytes) * scale),

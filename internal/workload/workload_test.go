@@ -164,6 +164,35 @@ func TestGeneratorMixProportions(t *testing.T) {
 	}
 }
 
+// TestGeneratorClone: a clone shares the mix but draws from its own
+// stream with IDs offset by its base — same-seeded clones with different
+// bases produce identical tasks except for the disjoint ID ranges.
+func TestGeneratorClone(t *testing.T) {
+	gen, err := StandardMix(rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = model.TaskID(1) << 32
+	c1 := gen.Clone(rng.New(99), 0)
+	c2 := gen.Clone(rng.New(99), base)
+	for i := 0; i < 50; i++ {
+		a, b := c1.Next(0), c2.Next(0)
+		if b.ID != a.ID+base {
+			t.Fatalf("draw %d: IDs %d and %d not offset by base", i, a.ID, b.ID)
+		}
+		if a.App != b.App || a.Cycles != b.Cycles || a.InputBytes != b.InputBytes {
+			t.Fatalf("draw %d: same-seeded clones diverged: %+v vs %+v", i, a, b)
+		}
+	}
+	if c1.Generated() != 50 || c2.Generated() != 50 {
+		t.Fatalf("Generated = %d/%d, want 50/50", c1.Generated(), c2.Generated())
+	}
+	// The parent's stream must be untouched by clone draws.
+	if gen.Generated() != 0 {
+		t.Fatalf("parent Generated = %d after clone draws, want 0", gen.Generated())
+	}
+}
+
 func TestGeneratorValidation(t *testing.T) {
 	if _, err := NewGenerator(rng.New(1), nil); err == nil {
 		t.Fatal("empty mix accepted")

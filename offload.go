@@ -146,6 +146,18 @@ type FleetStats = core.FleetStats
 // configured serverless region, edge site and VM fleet.
 func NewFleet(cfg Config, n int) (*Fleet, error) { return core.NewFleet(cfg, n) }
 
+// ShardedFleet is Fleet at million-UE scale: UEs partitioned across
+// Config.ShardCount worker shards in lockstep epochs against a
+// conservative barrier at the hub-owned shared substrates, with results
+// byte-identical at every shard count.
+type ShardedFleet = core.ShardedFleet
+
+// NewShardedFleet builds n devices partitioned across cfg.ShardCount
+// shards (0 and 1 both mean one shard, the serial reference).
+func NewShardedFleet(cfg Config, n int) (*ShardedFleet, error) {
+	return core.NewShardedFleet(cfg, n)
+}
+
 // DefaultConfig is a smartphone with every substrate present and the
 // deadline-aware policy.
 func DefaultConfig() Config { return core.DefaultConfig() }
