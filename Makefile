@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt race fuzz chaos ci determinism shards metrics-golden spans-golden golden offbench-bin bench bench-micro bench-json bench-gate bench-full results examples clean
+.PHONY: all build test vet fmt race fuzz chaos ci determinism shards metrics-golden spans-golden golden offbench-bin bench bench-micro bench-json bench-gate bench-full results examples serve loadtest serve-smoke clean
 
 # The offbench binary shared by the determinism and golden targets; built
 # once per make invocation instead of once per target.
@@ -31,20 +31,23 @@ race:
 	$(GO) test -race ./...
 
 # Short fuzzing smoke runs over the fault-injector invariants, the span
-# JSONL codec, the Page–Hinkley drift detector and the shard-barrier
-# determinism property. Longer local sessions:
+# JSONL codec, the Page–Hinkley drift detector, the shard-barrier
+# determinism property and the Prometheus name sanitizer. Longer local
+# sessions:
 #   go test -fuzz=FuzzFaultInjector -fuzztime=5m ./internal/fault/
 #   go test -fuzz=FuzzReadSpansJSONL -fuzztime=5m ./internal/trace/
 #   go test -fuzz=FuzzDriftDetector -fuzztime=5m ./internal/adapt/
 #   go test -fuzz=FuzzShardBarrier -fuzztime=5m ./internal/sim/
+#   go test -fuzz=FuzzSanitizeName -fuzztime=5m ./internal/metrics/
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzFaultInjector -fuzztime=10s ./internal/fault/
 	$(GO) test -run='^$$' -fuzz=FuzzReadSpansJSONL -fuzztime=10s ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzDriftDetector -fuzztime=10s ./internal/adapt/
 	$(GO) test -run='^$$' -fuzz=FuzzShardBarrier -fuzztime=10s ./internal/sim/
+	$(GO) test -run='^$$' -fuzz=FuzzSanitizeName -fuzztime=10s ./internal/metrics/
 
 # Everything CI runs, in order: the gates plus the determinism diffs.
-ci: build vet fmt test race fuzz determinism metrics-golden spans-golden
+ci: build vet fmt test race fuzz determinism metrics-golden spans-golden serve-smoke
 
 # Build the offbench binary the golden targets share.
 offbench-bin:
@@ -146,6 +149,43 @@ bench-gate: bench-micro
 results:
 	mkdir -p results
 	$(GO) run ./cmd/offbench -scale full | tee results/offbench_full.txt
+
+# Run the serve-mode daemon in the foreground on :9090 (wall clock,
+# default policy). Ctrl-C drains gracefully.
+serve:
+	$(GO) run ./cmd/offloadd -addr :9090
+
+# Stand up a daemon and drive it with the load harness: 15s at the
+# acceptance-floor rate with a concurrent 1 Hz /metrics scraper, report
+# written to results/loadtest_latest.txt (gitignored). Fails unless the
+# daemon sustains 10k req/s.
+loadtest:
+	mkdir -p results
+	$(GO) build -o /tmp/offloadd-load ./cmd/offloadd
+	$(GO) build -o /tmp/offctl-load ./cmd/offctl
+	/tmp/offloadd-load -addr 127.0.0.1:19091 -simclock -max-inflight 200000 & \
+	pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; sleep 1; \
+	/tmp/offctl-load load -url http://127.0.0.1:19091 -rate 15000 \
+		-duration 15s -workers 128 -min-rate 10000 \
+		-out results/loadtest_latest.txt && \
+	kill -TERM $$pid && wait $$pid
+
+# The serve-mode smoke drill CI runs: build the daemon, start it on the
+# deterministic sim clock, push a short burst of submissions through the
+# HTTP surface, then assert /healthz answers and /metrics exposes a
+# nonzero accepted counter before draining with SIGTERM.
+serve-smoke:
+	$(GO) build -o /tmp/offloadd-smoke ./cmd/offloadd
+	$(GO) build -o /tmp/offctl-smoke ./cmd/offctl
+	/tmp/offloadd-smoke -addr 127.0.0.1:19092 -simclock & \
+	pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; sleep 1; \
+	/tmp/offctl-smoke load -url http://127.0.0.1:19092 -rate 500 \
+		-duration 2s -workers 8 -min-rate 100 && \
+	curl -fsS http://127.0.0.1:19092/healthz && \
+	curl -fsS http://127.0.0.1:19092/metrics | grep '^serve_accepted' | \
+		grep -qv '^serve_accepted 0$$' && \
+	/tmp/offctl-smoke scrape -n 5 127.0.0.1:19092 && \
+	kill -TERM $$pid && wait $$pid
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"offload/internal/metrics"
+)
+
+// loadResult aggregates one load run. Counts are totals over the run;
+// the histogram holds per-request wall latency in seconds.
+type loadResult struct {
+	elapsed  time.Duration
+	requests uint64
+	accepted uint64
+	shed     uint64 // HTTP 429: the admission path working as designed
+	errors   uint64 // transport errors and 5xx
+	other    uint64 // anything else (4xx)
+	lat      *metrics.Histogram
+
+	scrapeOK   uint64
+	scrapeFail uint64
+}
+
+func (r *loadResult) achieved() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.requests) / r.elapsed.Seconds()
+}
+
+func (r *loadResult) write(out io.Writer, target float64) {
+	pct := func(n uint64) float64 {
+		if r.requests == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(r.requests)
+	}
+	ms := func(q float64) float64 { return r.lat.Quantile(q) * 1000 }
+	fmt.Fprintf(out, "offctl load: %d requests in %.1fs = %.1f req/s (target %.0f)\n",
+		r.requests, r.elapsed.Seconds(), r.achieved(), target)
+	fmt.Fprintf(out, "  accepted %d (%.1f%%)  shed(429) %d (%.1f%%)  errors %d  other %d\n",
+		r.accepted, pct(r.accepted), r.shed, pct(r.shed), r.errors, r.other)
+	fmt.Fprintf(out, "  latency ms: p50 %.3f  p95 %.3f  p99 %.3f  max %.3f  mean %.3f\n",
+		ms(0.50), ms(0.95), ms(0.99), r.lat.Max()*1000, r.lat.Mean()*1000)
+	fmt.Fprintf(out, "  metrics scrapes: %d ok, %d failed\n", r.scrapeOK, r.scrapeFail)
+}
+
+// runLoad implements `offctl load`: an open-loop HTTP load driver that
+// sustains a target submission rate against an offloadd daemon, with a
+// concurrent 1 Hz /metrics scraper, and reports achieved throughput,
+// latency quantiles and admission-shed rates.
+func runLoad(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("load", flag.ContinueOnError)
+	var (
+		url      = fs.String("url", "http://127.0.0.1:9090", "offloadd base URL")
+		rate     = fs.Float64("rate", 10000, "target submission rate, req/s")
+		duration = fs.Duration("duration", 10*time.Second, "run length")
+		workers  = fs.Int("workers", 64, "concurrent submission workers")
+		app      = fs.String("app", "loadtest", "app label on submitted tasks")
+		cycles   = fs.Float64("cycles", 2e7, "cycles per task")
+		input    = fs.Int64("input", 4096, "input bytes per task")
+		output   = fs.Int64("output", 1024, "output bytes per task")
+		mem      = fs.Int64("mem", 128<<20, "memory bytes per task")
+		scrape   = fs.Duration("scrape", time.Second, "concurrent /metrics scrape interval; 0 disables")
+		minRate  = fs.Float64("min-rate", 0, "fail unless the achieved rate reaches this")
+		outFile  = fs.String("out", "", "also write the report to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *rate <= 0 || *workers <= 0 || *duration <= 0 {
+		return fmt.Errorf("offctl load: rate, workers and duration must be positive")
+	}
+
+	body, err := json.Marshal(map[string]any{
+		"app": *app, "cycles": *cycles, "input_bytes": *input,
+		"output_bytes": *output, "memory_bytes": *mem,
+	})
+	if err != nil {
+		return err
+	}
+
+	res, err := driveLoad(*url, body, *rate, *duration, *workers, *scrape)
+	if err != nil {
+		return err
+	}
+	res.write(out, *rate)
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		res.write(f, *rate)
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *minRate > 0 && res.achieved() < *minRate {
+		return fmt.Errorf("offctl load: achieved %.1f req/s < required %.1f", res.achieved(), *minRate)
+	}
+	return nil
+}
+
+// driveLoad runs the workers and the scraper and merges their results.
+// Each worker paces itself at rate/workers with an absolute schedule, so
+// a slow response makes the worker catch up instead of silently lowering
+// the offered rate (open loop, within the worker's one-request budget).
+func driveLoad(base string, body []byte, rate float64, duration time.Duration, workers int, scrapeEvery time.Duration) (*loadResult, error) {
+	taskURL := strings.TrimRight(base, "/") + "/v1/tasks"
+	metricsURL := strings.TrimRight(base, "/") + "/metrics"
+	client := &http.Client{
+		Timeout: 10 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        workers * 2,
+			MaxIdleConnsPerHost: workers * 2,
+		},
+	}
+
+	type workerStats struct {
+		requests, accepted, shed, errors, other uint64
+		lat                                     *metrics.Histogram
+	}
+	perWorker := make([]workerStats, workers)
+	interval := time.Duration(float64(workers) / rate * float64(time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	defer cancel()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(ws *workerStats, offset time.Duration) {
+			defer wg.Done()
+			ws.lat = metrics.NewLatencyHistogram()
+			next := start.Add(offset)
+			for {
+				if d := time.Until(next); d > 0 {
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(d):
+					}
+				} else if ctx.Err() != nil {
+					return
+				}
+				next = next.Add(interval)
+
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, taskURL, bytes.NewReader(body))
+				if err != nil {
+					ws.errors++
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					ws.errors++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				ws.requests++
+				ws.lat.Observe(time.Since(t0).Seconds())
+				switch {
+				case resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK:
+					ws.accepted++
+				case resp.StatusCode == http.StatusTooManyRequests:
+					ws.shed++
+				case resp.StatusCode >= 500:
+					ws.errors++
+				default:
+					ws.other++
+				}
+			}
+		}(&perWorker[w], time.Duration(float64(w)/float64(workers)*float64(interval)))
+	}
+
+	// The concurrent scraper: a Prometheus server polling /metrics while
+	// the daemon is under full submission load.
+	var scrapeOK, scrapeFail atomic.Uint64
+	if scrapeEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(scrapeEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				resp, err := client.Get(metricsURL)
+				if err != nil {
+					scrapeFail.Add(1)
+					continue
+				}
+				_, perr := metrics.ParseExposition(resp.Body)
+				resp.Body.Close()
+				if perr != nil || resp.StatusCode != http.StatusOK {
+					scrapeFail.Add(1)
+				} else {
+					scrapeOK.Add(1)
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	res := &loadResult{
+		elapsed:    time.Since(start),
+		lat:        metrics.NewLatencyHistogram(),
+		scrapeOK:   scrapeOK.Load(),
+		scrapeFail: scrapeFail.Load(),
+	}
+	for i := range perWorker {
+		ws := &perWorker[i]
+		if ws.lat == nil {
+			continue
+		}
+		res.requests += ws.requests
+		res.accepted += ws.accepted
+		res.shed += ws.shed
+		res.errors += ws.errors
+		res.other += ws.other
+		if err := res.lat.Merge(ws.lat); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeDaemon mimics offloadd's submission and metrics surface: accepts
+// tasks until a cap, sheds with 429 beyond it, and serves a small
+// exposition body.
+type fakeDaemon struct {
+	submits atomic.Uint64
+	scrapes atomic.Uint64
+	shedCap uint64 // submissions beyond this get 429; 0 = accept all
+}
+
+func (f *fakeDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tasks", func(w http.ResponseWriter, r *http.Request) {
+		var spec map[string]any
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n := f.submits.Add(1)
+		if f.shedCap > 0 && n > f.shedCap {
+			http.Error(w, "overloaded", http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]uint64{"id": n})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		f.scrapes.Add(1)
+		body, err := os.ReadFile(filepath.Join("testdata", "scrape_exposition.txt"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(body)
+	})
+	return mux
+}
+
+func TestLoadDriverAgainstFakeDaemon(t *testing.T) {
+	fd := &fakeDaemon{}
+	ts := httptest.NewServer(fd.handler())
+	defer ts.Close()
+
+	res, err := driveLoad(ts.URL, []byte(`{"app":"t"}`), 2000, 500*time.Millisecond, 8, 100*time.Millisecond)
+	if err != nil {
+		t.Fatalf("driveLoad: %v", err)
+	}
+	if res.requests == 0 || res.accepted != res.requests {
+		t.Fatalf("requests=%d accepted=%d, want all accepted", res.requests, res.accepted)
+	}
+	if res.shed != 0 || res.errors != 0 {
+		t.Errorf("shed=%d errors=%d, want 0", res.shed, res.errors)
+	}
+	if uint64(res.lat.Count()) != res.requests {
+		t.Errorf("latency observations %d != requests %d", res.lat.Count(), res.requests)
+	}
+	if res.scrapeOK == 0 {
+		t.Error("concurrent scraper never succeeded")
+	}
+	if fd.scrapes.Load() == 0 {
+		t.Error("fake daemon never saw a /metrics scrape")
+	}
+	if res.lat.Quantile(0.99) <= 0 {
+		t.Error("p99 latency is zero despite completed requests")
+	}
+}
+
+func TestLoadDriverCountsShed(t *testing.T) {
+	fd := &fakeDaemon{shedCap: 50}
+	ts := httptest.NewServer(fd.handler())
+	defer ts.Close()
+
+	res, err := driveLoad(ts.URL, []byte(`{"app":"t"}`), 2000, 400*time.Millisecond, 8, 0)
+	if err != nil {
+		t.Fatalf("driveLoad: %v", err)
+	}
+	if res.accepted != 50 {
+		t.Errorf("accepted = %d, want 50", res.accepted)
+	}
+	if res.shed == 0 {
+		t.Error("no submissions shed despite the cap")
+	}
+	if res.accepted+res.shed != res.requests {
+		t.Errorf("accepted %d + shed %d != requests %d", res.accepted, res.shed, res.requests)
+	}
+}
+
+func TestRunLoadReportAndMinRate(t *testing.T) {
+	fd := &fakeDaemon{}
+	ts := httptest.NewServer(fd.handler())
+	defer ts.Close()
+
+	outPath := filepath.Join(t.TempDir(), "report.txt")
+	var out bytes.Buffer
+	err := runLoad([]string{
+		"-url", ts.URL, "-rate", "500", "-duration", "300ms",
+		"-workers", "4", "-scrape", "0", "-out", outPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("runLoad: %v", err)
+	}
+	for _, want := range []string{"req/s", "accepted", "latency ms", "p99"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+	onDisk, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("-out file: %v", err)
+	}
+	if string(onDisk) != out.String() {
+		t.Error("-out file differs from stdout report")
+	}
+
+	// An unreachable min-rate must fail the run.
+	err = runLoad([]string{
+		"-url", ts.URL, "-rate", "100", "-duration", "200ms",
+		"-workers", "2", "-scrape", "0", "-min-rate", "1000000",
+	}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "min-rate") && !strings.Contains(err.Error(), "required") {
+		t.Errorf("min-rate gate did not trip: %v", err)
+	}
+}
+
+func TestRunLoadRejectsBadFlags(t *testing.T) {
+	if err := runLoad([]string{"-rate", "0"}, &bytes.Buffer{}); err == nil {
+		t.Error("rate 0 accepted")
+	}
+	if err := runLoad([]string{"-duration", "0s"}, &bytes.Buffer{}); err == nil {
+		t.Error("duration 0 accepted")
+	}
+}

@@ -14,6 +14,8 @@
 //	offctl export -app report-gen              # dump a template's JSON spec
 //	offctl trace analyze spans.jsonl           # critical-path attribution + waste
 //	offctl trace chrome spans.jsonl out.json   # convert to Chrome trace format
+//	offctl load -url http://host:9090 -rate 10000 -duration 10s   # drive offloadd
+//	offctl scrape host:9090                    # pretty-print a /metrics endpoint
 package main
 
 import (
@@ -60,6 +62,16 @@ func main() {
 		return
 	case "faults":
 		if err := runFaults(os.Args[2:], os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	case "load":
+		if err := runLoad(os.Args[2:], os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	case "scrape":
+		if err := runScrape(os.Args[2:], os.Stdout); err != nil {
 			fail(err)
 		}
 		return
@@ -350,7 +362,10 @@ commands:
   policies    list placement policy names (static + adaptive)
   faults      print the composed fault-injector stack per backend
   trace       analyze a span archive (critical-path attribution, waste)
-              or convert it to Chrome trace format`)
+              or convert it to Chrome trace format
+  load        drive an offloadd daemon at a target rate and report
+              throughput, latency quantiles and shed rates
+  scrape      fetch a Prometheus /metrics endpoint and show the top series`)
 	os.Exit(2)
 }
 

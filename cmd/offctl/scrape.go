@@ -1,0 +1,99 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"offload/internal/metrics"
+)
+
+// runScrape implements `offctl scrape <url>`: fetch a Prometheus
+// /metrics endpoint and pretty-print the largest series, a quick look at
+// a live daemon without standing up a Prometheus server.
+func runScrape(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("scrape", flag.ContinueOnError)
+	topN := fs.Int("n", 20, "show the top N series by value")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: offctl scrape [-n N] <url>")
+	}
+	url := fs.Arg(0)
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.HasSuffix(url, "/metrics") {
+		url = strings.TrimRight(url, "/") + "/metrics"
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape %s: HTTP %d", url, resp.StatusCode)
+	}
+	return scrapeBody(resp.Body, *topN, out)
+}
+
+// scrapeBody parses one exposition body and renders the top-N table.
+// Split from runScrape so the golden test can feed a recorded body.
+func scrapeBody(r io.Reader, topN int, out io.Writer) error {
+	fams, err := metrics.ParseExposition(r)
+	if err != nil {
+		return err
+	}
+	type row struct {
+		kind   string
+		series string
+		value  float64
+	}
+	var rows []row
+	series := 0
+	for _, f := range fams {
+		for _, s := range f.Samples {
+			series++
+			// Histogram bucket samples would drown the table; the
+			// _count/_sum rollups already summarize those series.
+			if f.Kind == "histogram" && strings.HasSuffix(s.Name, "_bucket") {
+				continue
+			}
+			name := s.Name
+			if len(s.Labels) > 0 {
+				parts := make([]string, len(s.Labels))
+				for i, l := range s.Labels {
+					parts[i] = l.Name + "=" + l.Value
+				}
+				name += "{" + strings.Join(parts, ",") + "}"
+			}
+			rows = append(rows, row{kind: f.Kind, series: name, value: s.Value})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].value != rows[j].value {
+			return rows[i].value > rows[j].value
+		}
+		return rows[i].series < rows[j].series
+	})
+	if topN > 0 && len(rows) > topN {
+		rows = rows[:topN]
+	}
+	fmt.Fprintf(out, "%d families, %d series; top %d by value:\n", len(fams), series, len(rows))
+	w := 0
+	for _, r := range rows {
+		if len(r.series) > w {
+			w = len(r.series)
+		}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(out, "  %-*s  %-9s %s\n", w, r.series, r.kind, metrics.FormatFloat(r.value))
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// The scrape renderer must stay byte-stable against a recorded
+// exposition body: the output is what operators read and diff.
+func TestScrapeGolden(t *testing.T) {
+	in, err := os.Open(filepath.Join("testdata", "scrape_exposition.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+
+	var got bytes.Buffer
+	if err := scrapeBody(in, 10, &got); err != nil {
+		t.Fatalf("scrapeBody: %v", err)
+	}
+
+	goldenPath := filepath.Join("testdata", "scrape_golden.txt")
+	if *update {
+		if err := os.WriteFile(goldenPath, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("scrape output drifted from golden:\n--- got ---\n%s--- want ---\n%s", got.String(), want)
+	}
+}
+
+func TestScrapeSkipsBucketSamples(t *testing.T) {
+	in, err := os.Open(filepath.Join("testdata", "scrape_exposition.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	var got bytes.Buffer
+	if err := scrapeBody(in, 0, &got); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(got.String(), "_bucket") {
+		t.Errorf("bucket samples leaked into the table:\n%s", got.String())
+	}
+	// The rollups that summarize the histogram must still appear.
+	for _, want := range []string{"completion_seconds_sum", "completion_seconds_count"} {
+		if !strings.Contains(got.String(), want) {
+			t.Errorf("output missing %s:\n%s", want, got.String())
+		}
+	}
+}
+
+func TestScrapeRejectsGarbage(t *testing.T) {
+	var out bytes.Buffer
+	if err := scrapeBody(strings.NewReader("not prometheus at all{{{"), 5, &out); err == nil {
+		t.Error("scrapeBody accepted a malformed exposition body")
+	}
+}

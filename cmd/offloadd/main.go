@@ -1,0 +1,272 @@
+// Command offloadd is the live offload control plane: a long-running
+// HTTP daemon that accepts task submissions, drives the scheduler /
+// adaptive / failover stack in wall-clock time (the batch event core
+// behind a real-time clock adapter), and exposes the run's metrics
+// registry as a Prometheus endpoint.
+//
+// Endpoints:
+//
+//	POST /v1/tasks   submit a task (JSON body; "wait":true blocks for the outcome)
+//	GET  /v1/report  run summary as JSON (core.Report)
+//	GET  /metrics    Prometheus text exposition format 0.0.4
+//	GET  /healthz    liveness: 200 while the process serves
+//	GET  /readyz     readiness: 200 once warm, 503 while starting or draining
+//
+// SIGINT/SIGTERM drain gracefully: new submissions get 503, accepted
+// tasks run to completion (bounded by -drain-timeout), then the daemon
+// exits 0.
+//
+// Quickstart:
+//
+//	offloadd -addr :9090 &
+//	curl -s -XPOST localhost:9090/v1/tasks -d '{"app":"demo","wait":true}'
+//	curl -s localhost:9090/metrics | grep ^tasks
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"offload/internal/adapt"
+	"offload/internal/core"
+	"offload/internal/model"
+	"offload/internal/sim"
+)
+
+func main() {
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stderr, sig, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "offloadd:", err)
+		os.Exit(1)
+	}
+}
+
+// taskSpec is the POST /v1/tasks body. Omitted size fields take demo
+// defaults so a bare '{"app":"x"}' submission works out of the box.
+type taskSpec struct {
+	App              string  `json:"app"`
+	InputBytes       int64   `json:"input_bytes"`
+	OutputBytes      int64   `json:"output_bytes"`
+	Cycles           float64 `json:"cycles"`
+	MemoryBytes      int64   `json:"memory_bytes"`
+	ParallelFraction float64 `json:"parallel_fraction"`
+	DeadlineS        float64 `json:"deadline_s"`
+	Priority         int     `json:"priority"`
+	Wait             bool    `json:"wait"`
+}
+
+func (ts *taskSpec) task() *model.Task {
+	t := &model.Task{
+		App:              ts.App,
+		InputBytes:       ts.InputBytes,
+		OutputBytes:      ts.OutputBytes,
+		Cycles:           ts.Cycles,
+		MemoryBytes:      ts.MemoryBytes,
+		ParallelFraction: ts.ParallelFraction,
+		Deadline:         sim.Duration(ts.DeadlineS),
+		Priority:         ts.Priority,
+	}
+	if t.App == "" {
+		t.App = "default"
+	}
+	if t.Cycles == 0 {
+		t.Cycles = 2e8 // ~a tenth of a second of mid-range-phone work
+	}
+	if t.MemoryBytes == 0 {
+		t.MemoryBytes = 256 << 20
+	}
+	if t.InputBytes == 0 {
+		t.InputBytes = 64 << 10
+	}
+	if t.OutputBytes == 0 {
+		t.OutputBytes = 16 << 10
+	}
+	return t
+}
+
+// outcomeBody is the response for settled tasks ("wait":true).
+type outcomeBody struct {
+	ID          uint64  `json:"id"`
+	Placement   string  `json:"placement"`
+	CompletionS float64 `json:"completion_s"`
+	CostUSD     float64 `json:"cost_usd"`
+	Attempts    int     `json:"attempts"`
+	Failed      bool    `json:"failed"`
+}
+
+// run is main minus process concerns, so tests can drive the daemon
+// end to end: it serves until sig receives or the listener fails, then
+// drains. onReady, when non-nil, receives the bound address once the
+// daemon is accepting requests.
+func run(args []string, stderr io.Writer, sig <-chan os.Signal, onReady func(addr string)) error {
+	fs := flag.NewFlagSet("offloadd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":9090", "HTTP listen address")
+		policy       = fs.String("policy", string(core.PolicyDeadlineAware), "placement policy (see 'offctl policies')")
+		seed         = fs.Uint64("seed", 1, "RNG seed for the assembled system")
+		simclock     = fs.Bool("simclock", false, "run the deterministic sim clock instead of wall time (testing/CI)")
+		timescale    = fs.Float64("timescale", 1, "wall-clock time dilation: virtual seconds per wall second")
+		maxInFlight  = fs.Int("max-inflight", 100000, "admission cap on in-flight tasks; 0 = uncapped")
+		adaptOn      = fs.Bool("adapt", false, "enable the online adaptive layer (tuner, drift detection, admission)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Policy = core.PolicyName(*policy)
+	if *adaptOn {
+		ac := adapt.DefaultConfig()
+		cfg.Adapt = &ac
+	}
+	var clock sim.Clock = sim.NewWallClock(*timescale)
+	if *simclock {
+		clock = sim.SimClock{}
+	}
+	srv, err := core.NewServer(cfg, clock, *maxInFlight)
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tasks", func(w http.ResponseWriter, r *http.Request) {
+		var spec taskSpec
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		task := spec.task()
+		if spec.Wait {
+			o, err := srv.SubmitWait(r.Context(), task)
+			if err != nil {
+				submitError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, outcomeBody{
+				ID:          uint64(o.Task.ID),
+				Placement:   o.Placement.String(),
+				CompletionS: o.CompletionTime().Seconds(),
+				CostUSD:     o.CostUSD,
+				Attempts:    o.Attempts,
+				Failed:      o.Failed,
+			})
+			return
+		}
+		id, err := srv.Submit(task, nil)
+		if err != nil {
+			submitError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]uint64{"id": uint64(id)})
+	})
+	mux.HandleFunc("GET /v1/report", func(w http.ResponseWriter, r *http.Request) {
+		rep, ok := srv.Report()
+		if !ok {
+			httpError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := srv.WriteMetrics(w); err != nil {
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !srv.Ready() {
+			httpError(w, http.StatusServiceUnavailable, "not ready")
+			return
+		}
+		io.WriteString(w, "ready\n")
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	hs := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(stderr, "offloadd: serving on %s (policy=%s clock=%s)\n",
+		ln.Addr(), cfg.Policy, clockName(*simclock, *timescale))
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+
+	select {
+	case s := <-sig:
+		fmt.Fprintf(stderr, "offloadd: %v, draining\n", s)
+	case err := <-serveErr:
+		srv.Close()
+		return fmt.Errorf("http serve: %w", err)
+	}
+
+	// Graceful shutdown: drain the scheduler first so /readyz flips and
+	// new submissions 503 while accepted work completes, then close the
+	// HTTP server.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	left, drainErr := srv.Drain(drainCtx)
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := hs.Shutdown(httpCtx); err != nil {
+		fmt.Fprintf(stderr, "offloadd: http shutdown: %v\n", err)
+	}
+	fmt.Fprintf(stderr, "offloadd: drained, %d tasks in flight at exit (accepted=%d shed=%d)\n",
+		left, srv.Accepted(), srv.Shed())
+	return drainErr
+}
+
+func clockName(simclock bool, timescale float64) string {
+	if simclock {
+		return "sim"
+	}
+	return fmt.Sprintf("wall x%g", timescale)
+}
+
+func submitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, core.ErrOverloaded):
+		httpError(w, http.StatusTooManyRequests, "overloaded")
+	case errors.Is(err, core.ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, "draining")
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusRequestTimeout, err.Error())
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

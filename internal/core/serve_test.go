@@ -1,0 +1,196 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"offload/internal/metrics"
+	"offload/internal/model"
+	"offload/internal/sim"
+)
+
+func serveTask() *model.Task {
+	return &model.Task{
+		App:         "serve-test",
+		InputBytes:  64 << 10,
+		OutputBytes: 16 << 10,
+		Cycles:      2e8,
+		MemoryBytes: 256 << 20,
+	}
+}
+
+func startedServer(t *testing.T, clock sim.Clock, maxInFlight int) *Server {
+	t.Helper()
+	s, err := NewServer(DefaultConfig(), clock, maxInFlight)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return s
+}
+
+func TestServerSubmitWaitAndReport(t *testing.T) {
+	s := startedServer(t, sim.SimClock{}, 0)
+	defer s.Close()
+	if !s.Ready() {
+		t.Fatal("server not ready after Start")
+	}
+
+	const n = 20
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < n; i++ {
+		o, err := s.SubmitWait(ctx, serveTask())
+		if err != nil {
+			t.Fatalf("SubmitWait %d: %v", i, err)
+		}
+		if o.Failed {
+			t.Fatalf("task %d failed: %+v", i, o)
+		}
+		if o.Task.ID == 0 {
+			t.Fatal("server did not assign a task ID")
+		}
+		if o.Finished < o.Started {
+			t.Fatalf("task %d finished %v before start %v", i, o.Finished, o.Started)
+		}
+	}
+
+	r, ok := s.Report()
+	if !ok {
+		t.Fatal("Report after loop stop")
+	}
+	if r.Completed != n {
+		t.Fatalf("report.Completed = %d, want %d", r.Completed, n)
+	}
+
+	reg, ok := s.Registry("serve")
+	if !ok {
+		t.Fatal("Registry after loop stop")
+	}
+	if v := reg.Counter("tasks", metrics.L("state", "completed")).Value(); v != n {
+		t.Errorf("tasks{state=completed} = %g, want %d", v, n)
+	}
+	if v := reg.Counter("serve_accepted").Value(); v != n {
+		t.Errorf("serve_accepted = %g, want %d", v, n)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteMetrics(&buf); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	fams, err := metrics.ParseExposition(&buf)
+	if err != nil {
+		t.Fatalf("exposition output unparseable: %v", err)
+	}
+	found := false
+	for _, f := range fams {
+		if f.Name == "tasks" && f.Kind == "counter" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("tasks counter family missing from /metrics body")
+	}
+}
+
+func TestServerAdmissionCapSheds(t *testing.T) {
+	s, err := NewServer(DefaultConfig(), sim.SimClock{}, 1)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	// Deliberately not started: accepted work stays in flight, so the
+	// second submission must shed.
+	if _, err := s.Submit(serveTask(), nil); err != nil {
+		t.Fatalf("first Submit: %v", err)
+	}
+	if _, err := s.Submit(serveTask(), nil); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second Submit err = %v, want ErrOverloaded", err)
+	}
+	if s.Shed() != 1 {
+		t.Errorf("Shed = %d, want 1", s.Shed())
+	}
+
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if n, err := s.Drain(ctx); err != nil || n != 0 {
+		t.Fatalf("Drain = (%d, %v), want clean", n, err)
+	}
+}
+
+func TestServerDrainRejectsNewWork(t *testing.T) {
+	s := startedServer(t, sim.SimClock{}, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if n, err := s.Drain(ctx); err != nil || n != 0 {
+		t.Fatalf("Drain = (%d, %v), want clean", n, err)
+	}
+	if s.Ready() {
+		t.Error("Ready after Drain")
+	}
+	if _, err := s.Submit(serveTask(), nil); !errors.Is(err, ErrDraining) {
+		t.Errorf("Submit after Drain err = %v, want ErrDraining", err)
+	}
+}
+
+func TestServerDrainWaitsForInFlight(t *testing.T) {
+	// A dilated wall clock keeps tasks genuinely in flight for a few
+	// wall milliseconds, so the drain has something to wait for.
+	s := startedServer(t, sim.NewWallClock(1000), 0)
+	done := make(chan model.Outcome, 64)
+	for i := 0; i < 32; i++ {
+		if _, err := s.Submit(serveTask(), func(o model.Outcome) { done <- o }); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	left, err := s.Drain(ctx)
+	if err != nil || left != 0 {
+		t.Fatalf("Drain = (%d, %v), want clean", left, err)
+	}
+	if len(done) != 32 {
+		t.Errorf("outcomes delivered = %d, want 32", len(done))
+	}
+}
+
+func TestServerRejectsInvalidTask(t *testing.T) {
+	s := startedServer(t, sim.SimClock{}, 0)
+	defer s.Close()
+	bad := serveTask()
+	bad.Cycles = -1
+	if _, err := s.Submit(bad, nil); err == nil {
+		t.Fatal("Submit of invalid task succeeded")
+	}
+	if s.Accepted() != 0 {
+		t.Errorf("Accepted = %d after a rejected task, want 0", s.Accepted())
+	}
+}
+
+func TestServerRejectsBatchAndShards(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Batch = &BatchConfig{Size: 4, MaxWait: 10}
+	if _, err := NewServer(cfg, nil, 0); err == nil {
+		t.Error("NewServer accepted a Batch config")
+	}
+	cfg = DefaultConfig()
+	cfg.ShardCount = 4
+	if _, err := NewServer(cfg, nil, 0); err == nil {
+		t.Error("NewServer accepted a sharded config")
+	}
+}
+
+func TestServerDoubleStart(t *testing.T) {
+	s := startedServer(t, sim.SimClock{}, 0)
+	defer s.Close()
+	if err := s.Start(); err == nil {
+		t.Error("second Start succeeded")
+	}
+}

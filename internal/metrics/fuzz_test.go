@@ -1,0 +1,58 @@
+package metrics
+
+import "testing"
+
+// FuzzSanitizeName drives the export sanitizer with arbitrary byte
+// strings and asserts its contract: the output is always a valid
+// Prometheus identifier, sanitization is idempotent, and already-valid
+// names pass through unchanged (the property that keeps historical
+// CSV/JSONL exports byte-identical).
+func FuzzSanitizeName(f *testing.F) {
+	for _, seed := range []string{
+		"", "tasks", "cost_usd", "edge.queue-depth", "5xx", "a:b",
+		"métrique", "name{with=labels}", "__reserved", "9", "\x00\xff",
+	} {
+		f.Add(seed)
+	}
+	valid := func(s string, colonOK bool) bool {
+		if s == "" {
+			return false
+		}
+		for i := 0; i < len(s); i++ {
+			if !validIdentRune(s[i], i == 0, colonOK) {
+				return false
+			}
+		}
+		return true
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		m := SanitizeMetricName(in)
+		if !valid(m, true) {
+			t.Fatalf("SanitizeMetricName(%q) = %q: not a valid metric name", in, m)
+		}
+		if again := SanitizeMetricName(m); again != m {
+			t.Fatalf("SanitizeMetricName not idempotent: %q -> %q -> %q", in, m, again)
+		}
+		if valid(in, true) && m != in {
+			t.Fatalf("valid metric name %q changed to %q", in, m)
+		}
+
+		l := SanitizeLabelName(in)
+		if !valid(l, false) {
+			t.Fatalf("SanitizeLabelName(%q) = %q: not a valid label name", in, l)
+		}
+		if again := SanitizeLabelName(l); again != l {
+			t.Fatalf("SanitizeLabelName not idempotent: %q -> %q -> %q", in, l, again)
+		}
+		if valid(in, false) && l != in {
+			t.Fatalf("valid label name %q changed to %q", in, l)
+		}
+
+		// SanitizeKey must be idempotent too, and must never panic on
+		// arbitrary key-shaped input.
+		k := SanitizeKey(in)
+		if again := SanitizeKey(k); again != k {
+			t.Fatalf("SanitizeKey not idempotent: %q -> %q -> %q", in, k, again)
+		}
+	})
+}

@@ -1,0 +1,246 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func promTestRegistry() *Registry {
+	reg := NewRegistry("serve")
+	reg.Counter("tasks", L("state", "completed")).Add(42)
+	reg.Counter("tasks", L("state", "failed")).Add(3)
+	reg.Counter("cost.usd", L("state", "completed")).Add(0.125) // name needs sanitizing
+	reg.Gauge("sl_warm_containers").Set(7)
+	reg.Gauge("quoted", L("path", `C:\tmp "x"`+"\nnext")).Set(1)
+	h := reg.LatencyHistogram("completion_seconds", L("placement", "function"))
+	for _, v := range []float64{0.001, 0.001, 0.25, 0.9, 3.2, 1e-9 /* underflow */} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+// expositionLines returns the non-empty lines of the rendered body.
+func expositionLines(t *testing.T, reg *Registry) []string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+}
+
+// TestPrometheusConformance checks the structural rules of the text
+// exposition format on the writer's own output: TYPE precedes samples,
+// one TYPE per family, histogram buckets are cumulative and monotone,
+// and the +Inf bucket equals _count.
+func TestPrometheusConformance(t *testing.T) {
+	lines := expositionLines(t, promTestRegistry())
+
+	typed := map[string]string{}
+	sampleSeen := map[string]bool{}
+	famOf := func(sample string) string {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(sample, suffix); ok {
+				if typed[base] == "histogram" {
+					return base
+				}
+			}
+		}
+		return sample
+	}
+
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	buckets := map[string][]bucket{} // per series (name + labels minus le)
+	counts := map[string]float64{}
+
+	for _, line := range lines {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			name, kind := fields[2], fields[3]
+			if _, dup := typed[name]; dup {
+				t.Errorf("duplicate TYPE for %q", name)
+			}
+			if sampleSeen[name] {
+				t.Errorf("TYPE for %q appears after its samples", name)
+			}
+			typed[name] = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			t.Fatalf("unparseable sample %q: %v", line, err)
+		}
+		fam := famOf(s.Name)
+		if _, ok := typed[fam]; !ok {
+			t.Errorf("sample %q precedes its TYPE line", line)
+		}
+		sampleSeen[fam] = true
+
+		// Collect histogram buckets and counts per series.
+		var le string
+		var rest []string
+		for _, l := range s.Labels {
+			if l.Name == "le" {
+				le = l.Value
+			} else {
+				rest = append(rest, l.Name+"="+l.Value)
+			}
+		}
+		sort.Strings(rest)
+		series := fam + "{" + strings.Join(rest, ",") + "}"
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket") && typed[fam] == "histogram":
+			lv := math.Inf(1)
+			if le != "+Inf" {
+				var err error
+				lv, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("bucket %q: bad le: %v", line, err)
+				}
+			}
+			buckets[series] = append(buckets[series], bucket{lv, s.Value})
+		case strings.HasSuffix(s.Name, "_count") && typed[fam] == "histogram":
+			counts[series] = s.Value
+		}
+	}
+
+	if len(buckets) == 0 {
+		t.Fatal("no histogram buckets rendered")
+	}
+	for series, bs := range buckets {
+		for i := 1; i < len(bs); i++ {
+			if bs[i].le <= bs[i-1].le {
+				t.Errorf("%s: bucket edges not increasing: %g after %g", series, bs[i].le, bs[i-1].le)
+			}
+			if bs[i].cum < bs[i-1].cum {
+				t.Errorf("%s: cumulative counts not monotone: %g after %g", series, bs[i].cum, bs[i-1].cum)
+			}
+		}
+		last := bs[len(bs)-1]
+		if !math.IsInf(last.le, 1) {
+			t.Errorf("%s: final bucket le = %g, want +Inf", series, last.le)
+		}
+		if want, ok := counts[series]; !ok || last.cum != want {
+			t.Errorf("%s: +Inf bucket = %g, _count = %g", series, last.cum, want)
+		}
+	}
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	reg := promTestRegistry()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	fams, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v", err)
+	}
+	byName := map[string]PromFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+
+	tasks, ok := byName["tasks"]
+	if !ok || tasks.Kind != "counter" {
+		t.Fatalf("tasks family missing or mistyped: %+v", tasks)
+	}
+	got := map[string]float64{}
+	for _, s := range tasks.Samples {
+		got[s.Labels[0].Value] = s.Value
+	}
+	if got["completed"] != 42 || got["failed"] != 3 {
+		t.Errorf("tasks samples = %v, want completed=42 failed=3", got)
+	}
+
+	if f, ok := byName["cost_usd"]; !ok {
+		t.Error("sanitized family cost_usd missing")
+	} else if f.Samples[0].Value != 0.125 {
+		t.Errorf("cost_usd = %g, want 0.125", f.Samples[0].Value)
+	}
+
+	// The escaped label value must round-trip exactly.
+	q, ok := byName["quoted"]
+	if !ok || len(q.Samples) != 1 {
+		t.Fatalf("quoted family missing: %+v", q)
+	}
+	want := `C:\tmp "x"` + "\nnext"
+	if v := q.Samples[0].Labels[0].Value; v != want {
+		t.Errorf("escaped label value = %q, want %q", v, want)
+	}
+
+	h, ok := byName["completion_seconds"]
+	if !ok || h.Kind != "histogram" {
+		t.Fatalf("histogram family missing or mistyped: %+v", h)
+	}
+	var sum, count float64
+	for _, s := range h.Samples {
+		switch s.Name {
+		case "completion_seconds_sum":
+			sum = s.Value
+		case "completion_seconds_count":
+			count = s.Value
+		}
+	}
+	if count != 6 {
+		t.Errorf("histogram count = %g, want 6", count)
+	}
+	if math.Abs(sum-(0.001+0.001+0.25+0.9+3.2+1e-9)) > 1e-12 {
+		t.Errorf("histogram sum = %g", sum)
+	}
+}
+
+func TestPrometheusDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WritePrometheus(&a, promTestRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, promTestRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two renders of the same registry state differ")
+	}
+}
+
+func TestPrometheusKindClash(t *testing.T) {
+	reg := NewRegistry("clash")
+	reg.Counter("foo.bar").Inc()
+	reg.Gauge("foo_bar").Set(1)
+	if err := WritePrometheus(&bytes.Buffer{}, reg); err == nil {
+		t.Error("want error when sanitization merges a counter and a gauge")
+	}
+}
+
+func TestPrometheusUnderflowBucket(t *testing.T) {
+	reg := NewRegistry("under")
+	h := reg.LatencyHistogram("lat")
+	h.Observe(1e-9) // below the 1e-6 floor
+	h.Observe(0.5)
+	lines := expositionLines(t, reg)
+	foundUnder := false
+	for _, line := range lines {
+		if strings.HasPrefix(line, `lat_bucket{le="1e-06"}`) {
+			foundUnder = true
+			if !strings.HasSuffix(line, " 1") {
+				t.Errorf("underflow bucket line = %q, want cumulative 1", line)
+			}
+		}
+	}
+	if !foundUnder {
+		t.Error("no le=1e-06 underflow bucket rendered")
+	}
+}

@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed exposition sample line.
+type PromSample struct {
+	Name   string // full sample name, including _bucket/_sum/_count suffixes
+	Labels []Label
+	Value  float64
+}
+
+// PromFamily is one parsed metric family: its TYPE/HELP metadata and the
+// samples that followed it, in input order.
+type PromFamily struct {
+	Name    string
+	Kind    string // counter|gauge|histogram|untyped
+	Help    string
+	Samples []PromSample
+}
+
+// ParseExposition parses a Prometheus text-format (0.0.4) body into
+// families in input order. It is the consumer half of WritePrometheus —
+// the round-trip test and `offctl scrape` run on it — and accepts the
+// subset of the format a scrape of this repository's endpoints can
+// produce: HELP/TYPE comments, sample lines with optional labels and an
+// optional timestamp (ignored), blank lines and other comments.
+func ParseExposition(r io.Reader) ([]PromFamily, error) {
+	var (
+		fams  []PromFamily
+		index = make(map[string]int)
+	)
+	family := func(name string) *PromFamily {
+		if i, ok := index[name]; ok {
+			return &fams[i]
+		}
+		index[name] = len(fams)
+		fams = append(fams, PromFamily{Name: name, Kind: "untyped"})
+		return &fams[len(fams)-1]
+	}
+	// familyFor maps a sample name onto its family, peeling histogram
+	// suffixes only when the base family is a known histogram.
+	familyFor := func(sample string) *PromFamily {
+		if i, ok := index[sample]; ok {
+			return &fams[i]
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base, ok := strings.CutSuffix(sample, suffix)
+			if !ok {
+				continue
+			}
+			if i, ok := index[base]; ok && fams[i].Kind == "histogram" {
+				return &fams[i]
+			}
+		}
+		return family(sample)
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && (fields[1] == "TYPE" || fields[1] == "HELP") {
+				f := family(fields[2])
+				if fields[1] == "TYPE" {
+					if len(fields) < 4 {
+						return nil, fmt.Errorf("metrics: line %d: TYPE without a kind", lineNo)
+					}
+					f.Kind = strings.TrimSpace(fields[3])
+				} else if len(fields) >= 4 {
+					f.Help = fields[3]
+				}
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+		}
+		f := familyFor(s.Name)
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+func parseSampleLine(line string) (PromSample, error) {
+	var s PromSample
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	s.Name = line[:i]
+	if s.Name == "" {
+		return s, fmt.Errorf("sample %q has no name", line)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		var err error
+		s.Labels, rest, err = parseLabels(rest[1:])
+		if err != nil {
+			return s, err
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes `name="value",...}` and returns what follows the
+// closing brace.
+func parseLabels(rest string) ([]Label, string, error) {
+	var labels []Label
+	for {
+		rest = strings.TrimLeft(rest, ", ")
+		if rest == "" {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if rest[0] == '}' {
+			return labels, rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		name := strings.TrimSpace(rest[:eq])
+		rest = rest[eq+1:]
+		if rest == "" || rest[0] != '"' {
+			return nil, "", fmt.Errorf("label %q value is not quoted", name)
+		}
+		value, remainder, err := parseQuoted(rest[1:])
+		if err != nil {
+			return nil, "", fmt.Errorf("label %q: %w", name, err)
+		}
+		labels = append(labels, Label{Name: name, Value: value})
+		rest = remainder
+	}
+}
+
+// parseQuoted consumes an escaped string body up to its closing quote.
+func parseQuoted(rest string) (string, string, error) {
+	var b strings.Builder
+	for i := 0; i < len(rest); i++ {
+		switch rest[i] {
+		case '"':
+			return b.String(), rest[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(rest) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch rest[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(rest[i])
+			default:
+				// Unknown escapes pass through verbatim, matching the
+				// reference parser's leniency.
+				b.WriteByte('\\')
+				b.WriteByte(rest[i])
+			}
+		default:
+			b.WriteByte(rest[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}

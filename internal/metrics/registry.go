@@ -300,14 +300,18 @@ func (r *Registry) Snapshot() []Point {
 
 // WriteCSV writes the snapshot as CSV with a kind,metric,stat,value
 // header. Rows stream through a buffered writer rather than rendering
-// the whole export in memory first.
+// the whole export in memory first. Metric and label names pass through
+// the canonical export sanitizer (see sanitize.go) shared with the
+// Prometheus writer, so one registered name exports identically in every
+// format; names that are already valid identifiers — all of them, today
+// — render unchanged.
 func (r *Registry) WriteCSV(w io.Writer) error {
 	b := bufio.NewWriter(w)
 	b.WriteString("kind,metric,stat,value\n")
 	for _, p := range r.Snapshot() {
 		b.WriteString(p.Kind)
 		b.WriteByte(',')
-		b.WriteString(csvCell(p.Key))
+		b.WriteString(csvCell(SanitizeKey(p.Key)))
 		b.WriteByte(',')
 		b.WriteString(p.Stat)
 		b.WriteByte(',')
@@ -318,14 +322,14 @@ func (r *Registry) WriteCSV(w io.Writer) error {
 }
 
 // WriteJSONL writes the snapshot as one JSON object per line, streamed
-// through a buffered writer.
+// through a buffered writer. Names are sanitized exactly as in WriteCSV.
 func (r *Registry) WriteJSONL(w io.Writer) error {
 	b := bufio.NewWriter(w)
 	for _, p := range r.Snapshot() {
 		b.WriteString(`{"kind":`)
 		b.WriteString(strconv.Quote(p.Kind))
 		b.WriteString(`,"metric":`)
-		b.WriteString(strconv.Quote(p.Key))
+		b.WriteString(strconv.Quote(SanitizeKey(p.Key)))
 		if p.Stat != "" {
 			b.WriteString(`,"stat":`)
 			b.WriteString(strconv.Quote(p.Stat))

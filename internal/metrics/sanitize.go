@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+)
+
+// This file is the one canonical place metric and label names are made
+// export-safe. Every writer — CSV, JSONL and Prometheus — routes names
+// through these functions, so a metric registered as "edge.queue-depth"
+// exports identically everywhere: "edge_queue_depth".
+//
+// The rules are the Prometheus identifier rules, the strictest format we
+// export to: metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, label names
+// match [a-zA-Z_][a-zA-Z0-9_]*. Names already valid pass through
+// unchanged (and without allocating), which keeps historical CSV/JSONL
+// exports byte-identical: every metric this repository registers today
+// is already a valid identifier.
+
+// SanitizeMetricName maps s onto a valid Prometheus metric name: invalid
+// characters become '_', a leading digit gains a '_' prefix, and the
+// empty string becomes "_". Valid names are returned unchanged.
+func SanitizeMetricName(s string) string {
+	return sanitizeIdent(s, true)
+}
+
+// SanitizeLabelName maps s onto a valid Prometheus label name. Same
+// rules as SanitizeMetricName except that ':' is not allowed in label
+// names. Label names beginning with "__" are reserved in Prometheus, but
+// passing them through is the caller's concern, not a format violation.
+func SanitizeLabelName(s string) string {
+	return sanitizeIdent(s, false)
+}
+
+func validIdentRune(c byte, first, colonOK bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case c == ':':
+		return colonOK
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func sanitizeIdent(s string, colonOK bool) string {
+	if s == "" {
+		return "_"
+	}
+	clean := true
+	for i := 0; i < len(s); i++ {
+		if !validIdentRune(s[i], i == 0, colonOK) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	if c := s[0]; c >= '0' && c <= '9' {
+		// A leading digit is valid mid-name: keep it, prefixed.
+		b.WriteByte('_')
+		b.WriteByte(c)
+	} else if validIdentRune(s[0], true, colonOK) {
+		b.WriteByte(s[0])
+	} else {
+		b.WriteByte('_')
+	}
+	for i := 1; i < len(s); i++ {
+		if validIdentRune(s[i], false, colonOK) {
+			b.WriteByte(s[i])
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// SanitizeKey re-renders a canonical registry key (name{a=1,b=2}) with
+// its metric name and label names sanitized. Label values pass through
+// untouched — every export format can represent arbitrary values. Keys
+// whose names are already valid come back unchanged.
+func SanitizeKey(key string) string {
+	name, labels := ParseKey(key)
+	dirty := SanitizeMetricName(name) != name
+	for _, l := range labels {
+		if SanitizeLabelName(l.Name) != l.Name {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		return key
+	}
+	out := make([]Label, len(labels))
+	for i, l := range labels {
+		out[i] = Label{Name: SanitizeLabelName(l.Name), Value: l.Value}
+	}
+	return Key(SanitizeMetricName(name), out)
+}
+
+// ParseKey splits a canonical registry key back into its metric name and
+// labels: the inverse of Key. Keys without labels return a nil slice.
+// Label values containing ',' or '=' are not representable in the key
+// form and split naively; registry keys produced by Key from clean
+// values round-trip exactly.
+func ParseKey(key string) (string, []Label) {
+	open := strings.IndexByte(key, '{')
+	if open < 0 || !strings.HasSuffix(key, "}") {
+		return key, nil
+	}
+	name := key[:open]
+	body := key[open+1 : len(key)-1]
+	if body == "" {
+		return name, nil
+	}
+	parts := strings.Split(body, ",")
+	labels := make([]Label, 0, len(parts))
+	for _, p := range parts {
+		if eq := strings.IndexByte(p, '='); eq >= 0 {
+			labels = append(labels, Label{Name: p[:eq], Value: p[eq+1:]})
+		} else {
+			labels = append(labels, Label{Name: p})
+		}
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Name < labels[j].Name })
+	return name, labels
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import "testing"
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"tasks", "tasks"},
+		{"sl_billed_usd", "sl_billed_usd"},
+		{"namespace:metric", "namespace:metric"},
+		{"_leading_underscore", "_leading_underscore"},
+		{"edge.queue-depth", "edge_queue_depth"},
+		{"5xx_responses", "_5xx_responses"},
+		{"répønse", "r__p__nse"}, // multi-byte runes sanitize bytewise
+		{"a b", "a_b"},
+		{"", "_"},
+		{"9", "_9"},
+		{"-", "_"},
+		{"metric{bad}", "metric_bad_"},
+	}
+	for _, c := range cases {
+		if got := SanitizeMetricName(c.in); got != c.want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSanitizeLabelName(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"state", "state"},
+		{"le", "le"},
+		{"_hidden", "_hidden"},
+		{"ns:label", "ns_label"}, // colon is metric-name-only
+		{"app.name", "app_name"},
+		{"2nd", "_2nd"},
+		{"", "_"},
+	}
+	for _, c := range cases {
+		if got := SanitizeLabelName(c.in); got != c.want {
+			t.Errorf("SanitizeLabelName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSanitizeKey(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"tasks", "tasks"},
+		{"tasks{state=completed}", "tasks{state=completed}"},
+		{"edge.queue{site-id=a,zone=b}", "edge_queue{site_id=a,zone=b}"},
+		// Label values are preserved verbatim, even when odd.
+		{"x{app=video-transcode}", "x{app=video-transcode}"},
+		{"9lives{a=1}", "_9lives{a=1}"},
+	}
+	for _, c := range cases {
+		if got := SanitizeKey(c.in); got != c.want {
+			t.Errorf("SanitizeKey(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSanitizeKeyIsStableForValidKeys(t *testing.T) {
+	// A valid key must come back unchanged — the property that keeps
+	// every historical CSV/JSONL export byte-identical.
+	keys := []string{
+		"tasks{state=completed}",
+		"cost_usd{state=infra}",
+		"adapt_decisions{arm=function,context=ml-batch:3}",
+		"failover_shed",
+		"region_health{region=eu-west}",
+	}
+	for _, k := range keys {
+		if got := SanitizeKey(k); got != k {
+			t.Errorf("SanitizeKey(%q) = %q, want unchanged", k, got)
+		}
+	}
+}
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	cases := []struct {
+		key    string
+		name   string
+		labels []Label
+	}{
+		{"tasks", "tasks", nil},
+		{"tasks{state=completed}", "tasks", []Label{{"state", "completed"}}},
+		{"x{a=1,b=2}", "x", []Label{{"a", "1"}, {"b", "2"}}},
+		{"x{}", "x", nil},
+	}
+	for _, c := range cases {
+		name, labels := ParseKey(c.key)
+		if name != c.name {
+			t.Errorf("ParseKey(%q) name = %q, want %q", c.key, name, c.name)
+		}
+		if len(labels) != len(c.labels) {
+			t.Errorf("ParseKey(%q) labels = %v, want %v", c.key, labels, c.labels)
+			continue
+		}
+		for i := range labels {
+			if labels[i] != c.labels[i] {
+				t.Errorf("ParseKey(%q) label %d = %v, want %v", c.key, i, labels[i], c.labels[i])
+			}
+		}
+		if len(c.labels) > 0 {
+			if rt := Key(name, labels); rt != c.key {
+				t.Errorf("Key(ParseKey(%q)) = %q, want the original", c.key, rt)
+			}
+		}
+	}
+}

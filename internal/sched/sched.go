@@ -280,6 +280,36 @@ func (s *Scheduler) Submit(task *model.Task) {
 	s.Dispatch(task, placement)
 }
 
+// SubmitThen routes the task per the policy and invokes then exactly once
+// with its final outcome, after the global outcome hook. The serve path
+// uses this to answer a caller waiting on one specific task. A task that
+// fails validation settles immediately, so then still fires.
+func (s *Scheduler) SubmitThen(task *model.Task, then func(model.Outcome)) {
+	if then != nil {
+		s.afterTask[task.ID] = then
+	}
+	s.Submit(task)
+}
+
+// ChainOutcomeHook appends fn behind the outcome hook already installed
+// (if any): every settled task reaches both. Call before the first
+// Submit; the serve layer chains its accounting hook after core's
+// recorder this way without disturbing existing wiring.
+func (s *Scheduler) ChainOutcomeHook(fn func(model.Outcome)) {
+	if fn == nil {
+		return
+	}
+	prev := s.onDone
+	if prev == nil {
+		s.onDone = fn
+		return
+	}
+	s.onDone = func(o model.Outcome) {
+		prev(o)
+		fn(o)
+	}
+}
+
 // Dispatch runs the task at an explicit placement, bypassing the policy.
 // The Batcher uses this to realise its own placement decisions. With the
 // resilience layer enabled the placement becomes the task's primary

@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock paces a Realtime loop: it decides how long to wait before the
+// next pending event may fire, mapping virtual engine time onto the
+// caller's notion of real time.
+//
+// Two implementations exist. SimClock never waits — virtual time jumps
+// from event to event exactly as Engine.Run would advance it, so a
+// Realtime loop driven by a SimClock executes the same event sequence a
+// batch run executes, and stays fully deterministic and testable.
+// WallClock anchors virtual time zero at a wall instant and sleeps real
+// time between events, which is what a live daemon wants.
+type Clock interface {
+	// Now returns the current virtual time as the clock sees it. The
+	// second return is false for clocks with no external notion of time
+	// (SimClock): the engine's own clock is then the only time there is,
+	// and the loop must not advance it between events.
+	Now() (Time, bool)
+
+	// WaitUntil blocks until virtual time t arrives or wake receives.
+	// It returns true when t was reached and the event due at t may
+	// fire, false when the wait was interrupted early.
+	WaitUntil(t Time, wake <-chan struct{}) bool
+}
+
+// SimClock is the deterministic clock: virtual time is the engine's own
+// clock and waits return immediately, so events fire back to back in
+// timestamp order exactly as in a batch simulation. The zero value is
+// ready to use.
+type SimClock struct{}
+
+// Now reports that a SimClock has no external time source.
+func (SimClock) Now() (Time, bool) { return 0, false }
+
+// WaitUntil returns immediately: in simulated time the next event is
+// always due now.
+func (SimClock) WaitUntil(Time, <-chan struct{}) bool { return true }
+
+// WallClock maps virtual time onto the process wall clock: virtual zero
+// is anchored at the first use, and one virtual second lasts 1/Scale
+// wall seconds. Scale 1 runs the simulation in real time; larger scales
+// time-dilate it (scale 60 packs a virtual minute into a wall second),
+// which is how a load test compresses hours of simulated pricing windows
+// into a short run. Construct with NewWallClock.
+type WallClock struct {
+	scale  float64
+	once   sync.Once
+	origin time.Time
+}
+
+// NewWallClock returns a wall clock running at the given time-dilation
+// factor; scale <= 0 defaults to 1 (real time).
+func NewWallClock(scale float64) *WallClock {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &WallClock{scale: scale}
+}
+
+// anchor fixes virtual zero at the first moment the clock is consulted.
+func (c *WallClock) anchor() {
+	c.once.Do(func() { c.origin = time.Now() })
+}
+
+// Now returns the virtual time corresponding to the current wall time.
+func (c *WallClock) Now() (Time, bool) {
+	c.anchor()
+	return Time(time.Since(c.origin).Seconds() * c.scale), true
+}
+
+// wallDeadline converts virtual time t into the wall instant it occurs.
+func (c *WallClock) wallDeadline(t Time) time.Time {
+	return c.origin.Add(time.Duration(float64(t) / c.scale * float64(time.Second)))
+}
+
+// WaitUntil sleeps until virtual time t's wall instant, or until wake
+// receives, whichever comes first.
+func (c *WallClock) WaitUntil(t Time, wake <-chan struct{}) bool {
+	c.anchor()
+	d := time.Until(c.wallDeadline(t))
+	if d <= 0 {
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-wake:
+		return false
+	}
+}
+
+// Realtime drives an Engine from a single owner goroutine against a
+// Clock, while other goroutines inject work through Do. This is the
+// serve-mode adapter: the event core — engine, scheduler, substrates —
+// runs unchanged and untouched by locks, because every access happens on
+// the loop goroutine; concurrency stops at the inbox channel.
+//
+// With a SimClock the loop degenerates into Engine.Run interleaved with
+// injected closures: events fire in timestamp order with no waiting, so
+// tests drive the exact code the daemon runs, deterministically. With a
+// WallClock the loop sleeps between events and advances the engine clock
+// to "wall now" before running injected work, so submissions are stamped
+// with the virtual time at which they really arrived.
+type Realtime struct {
+	eng   *Engine
+	clock Clock
+	inbox chan func()
+	wake  chan struct{}
+	stop  chan struct{}
+	done  chan struct{}
+
+	stopOnce sync.Once
+}
+
+// NewRealtime returns a loop over eng paced by clock. A nil clock means
+// SimClock. Call Run (usually in its own goroutine) to start the loop.
+func NewRealtime(eng *Engine, clock Clock) *Realtime {
+	if clock == nil {
+		clock = SimClock{}
+	}
+	return &Realtime{
+		eng:   eng,
+		clock: clock,
+		inbox: make(chan func(), 8192),
+		wake:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Engine returns the engine the loop drives. Only loop-injected code
+// (closures passed to Do) may touch it.
+func (r *Realtime) Engine() *Engine { return r.eng }
+
+// Do queues fn to run on the loop goroutine at the current virtual time,
+// waking the loop if it is sleeping. It is safe to call from any
+// goroutine and blocks only when the inbox is full (backpressure). Do
+// after Stop is a no-op returning false; true means fn was queued.
+func (r *Realtime) Do(fn func()) bool {
+	if fn == nil {
+		return false
+	}
+	select {
+	case <-r.stop:
+		return false
+	default:
+	}
+	select {
+	case r.inbox <- fn:
+		r.signal()
+		return true
+	case <-r.stop:
+		return false
+	}
+}
+
+// Call runs fn on the loop goroutine and blocks until it has completed:
+// a synchronous snapshot point for stats, reports and registries. It
+// returns false (without running fn) when the loop has stopped.
+func (r *Realtime) Call(fn func()) bool {
+	ran := make(chan struct{})
+	if !r.Do(func() { fn(); close(ran) }) {
+		return false
+	}
+	select {
+	case <-ran:
+		return true
+	case <-r.done:
+		// The loop stopped before draining fn; it may still have run if
+		// the loop exited right after executing it.
+		select {
+		case <-ran:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// signal nudges a loop blocked in WaitUntil. The token is sticky (one
+// buffered slot), so at worst the loop makes one spurious early pass.
+func (r *Realtime) signal() {
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Stop makes Run return after the in-flight event or closure completes.
+// Pending events stay in the engine; injected closures not yet executed
+// are dropped. Safe to call more than once, from any goroutine.
+func (r *Realtime) Stop() {
+	r.stopOnce.Do(func() {
+		close(r.stop)
+		r.signal()
+	})
+}
+
+// Done returns a channel closed when Run has exited.
+func (r *Realtime) Done() <-chan struct{} { return r.done }
+
+// Run executes the loop until Stop. It must be called exactly once, and
+// owns the engine for its whole duration.
+func (r *Realtime) Run() {
+	defer close(r.done)
+	for {
+		// Catch the engine clock up to the external clock, firing every
+		// event that is already due. A SimClock reports no external time,
+		// leaving the engine clock to advance event by event.
+		if now, ok := r.clock.Now(); ok && now > r.eng.Now() {
+			r.eng.RunUntil(now)
+		}
+		// Drain injected work; each closure runs at the current virtual
+		// time, which is exactly "now" under a wall clock.
+		for {
+			select {
+			case fn := <-r.inbox:
+				fn()
+				continue
+			default:
+			}
+			break
+		}
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		if r.eng.Pending() == 0 {
+			// Idle: nothing to wait for but work or shutdown.
+			select {
+			case fn := <-r.inbox:
+				fn()
+			case <-r.stop:
+				return
+			}
+			continue
+		}
+		if r.clock.WaitUntil(r.eng.NextEventTime(), r.wake) {
+			r.eng.Step()
+		}
+	}
+}

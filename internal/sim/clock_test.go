@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// A Realtime loop on a SimClock must fire events in exactly the order and
+// at exactly the virtual times Engine.Run would: the serve path reuses
+// the batch event core unchanged.
+func TestRealtimeSimClockMatchesBatchRun(t *testing.T) {
+	run := func(drive func(e *Engine, schedule func())) []Time {
+		var fired []Time
+		e := NewEngine()
+		schedule := func() {
+			for _, d := range []Duration{3, 1, 2, 1} {
+				e.After(d, func() { fired = append(fired, e.Now()) })
+			}
+			e.After(1.5, func() {
+				e.After(0.25, func() { fired = append(fired, e.Now()) })
+			})
+		}
+		drive(e, schedule)
+		return fired
+	}
+
+	batch := run(func(e *Engine, schedule func()) {
+		schedule()
+		e.Run()
+	})
+
+	realtime := run(func(e *Engine, schedule func()) {
+		r := NewRealtime(e, SimClock{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { defer wg.Done(); r.Run() }()
+		if !r.Call(schedule) {
+			t.Fatal("Call failed on a running loop")
+		}
+		// Wait until the queue drains, then stop. Call runs on the loop
+		// goroutine, so a drained queue seen there is authoritative.
+		for {
+			var pending int
+			if !r.Call(func() { pending = e.Pending() }) {
+				t.Fatal("loop stopped early")
+			}
+			if pending == 0 {
+				break
+			}
+		}
+		r.Stop()
+		wg.Wait()
+	})
+
+	if len(batch) != len(realtime) {
+		t.Fatalf("batch fired %d events, realtime %d", len(batch), len(realtime))
+	}
+	for i := range batch {
+		if batch[i] != realtime[i] {
+			t.Fatalf("event %d: batch at %v, realtime at %v", i, batch[i], realtime[i])
+		}
+	}
+}
+
+func TestRealtimeStop(t *testing.T) {
+	e := NewEngine()
+	r := NewRealtime(e, SimClock{})
+	go r.Run()
+	if !r.Call(func() {}) {
+		t.Fatal("Call on a running loop failed")
+	}
+	r.Stop()
+	select {
+	case <-r.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("loop did not stop")
+	}
+	if r.Do(func() {}) {
+		t.Error("Do after Stop reported queued")
+	}
+	if r.Call(func() {}) {
+		t.Error("Call after Stop reported ran")
+	}
+	r.Stop() // idempotent
+}
+
+func TestRealtimeInjectedWorkRunsAtCurrentTime(t *testing.T) {
+	e := NewEngine()
+	r := NewRealtime(e, nil) // nil clock defaults to SimClock
+	go r.Run()
+	defer func() { r.Stop(); <-r.Done() }()
+
+	var fired []Time
+	// Schedule an event at t=2, let it fire, then inject more work: the
+	// injected closure must see the advanced clock.
+	if !r.Call(func() { e.After(2, func() { fired = append(fired, e.Now()) }) }) {
+		t.Fatal("Call failed")
+	}
+	for {
+		var pending int
+		r.Call(func() { pending = e.Pending() })
+		if pending == 0 {
+			break
+		}
+	}
+	var now Time
+	r.Call(func() { now = e.Now() })
+	if now != 2 {
+		t.Fatalf("engine clock after event = %v, want 2", now)
+	}
+	if len(fired) != 1 || fired[0] != 2 {
+		t.Fatalf("fired = %v, want [2]", fired)
+	}
+}
+
+func TestWallClockScale(t *testing.T) {
+	c := NewWallClock(1000) // 1000 virtual seconds per wall second
+	v0, ok := c.Now()
+	if !ok {
+		t.Fatal("WallClock.Now reported no external time")
+	}
+	time.Sleep(20 * time.Millisecond)
+	v1, _ := c.Now()
+	elapsed := float64(v1 - v0)
+	// 20ms wall at scale 1000 is 20 virtual seconds; allow generous slack
+	// for scheduler jitter on loaded CI machines.
+	if elapsed < 15 || elapsed > 2000 {
+		t.Fatalf("virtual elapsed = %gs, want roughly 20s", elapsed)
+	}
+}
+
+func TestWallClockWaitUntil(t *testing.T) {
+	c := NewWallClock(1)
+	c.anchor()
+
+	// A virtual time already in the past returns immediately.
+	if !c.WaitUntil(0, nil) {
+		t.Error("WaitUntil(past) = false, want true")
+	}
+
+	// An early wake interrupts the sleep.
+	wake := make(chan struct{}, 1)
+	wake <- struct{}{}
+	start := time.Now()
+	if c.WaitUntil(Time(3600), wake) {
+		t.Error("WaitUntil(future) with pending wake = true, want false")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("early wake took too long")
+	}
+}
+
+func TestWallClockDefaultScale(t *testing.T) {
+	for _, scale := range []float64{0, -2} {
+		c := NewWallClock(scale)
+		if c.scale != 1 {
+			t.Errorf("NewWallClock(%g).scale = %g, want 1", scale, c.scale)
+		}
+	}
+}
+
+// A wall-clock Realtime loop advances the engine clock between events, so
+// work injected while idle is stamped with the virtual arrival time, not
+// the time of the last fired event.
+func TestRealtimeWallClockStampsArrivals(t *testing.T) {
+	e := NewEngine()
+	c := NewWallClock(2000) // fast virtual time keeps the test quick
+	r := NewRealtime(e, c)
+	go r.Run()
+	defer func() { r.Stop(); <-r.Done() }()
+
+	time.Sleep(20 * time.Millisecond) // ~40 virtual seconds pass while idle
+	var stamped Time
+	done := make(chan struct{})
+	r.Do(func() {
+		stamped = e.Now()
+		e.After(1, func() { close(done) })
+	})
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("scheduled event never fired")
+	}
+	if stamped <= 0 {
+		t.Fatalf("injected work saw virtual time %v, want > 0", stamped)
+	}
+}
