@@ -1,0 +1,24 @@
+# Build offloadd — the offload control-plane daemon — into a minimal
+# distroless image. The daemon is pure Go (no cgo), so the final stage
+# carries nothing but the static binary and a CA bundle.
+#
+#   docker build -t offloadd .
+#   docker run --rm -p 8080:8080 offloadd -listen :8080
+#
+# `make docker` wraps the build; CI smoke-builds the image on every push.
+
+FROM golang:1.22 AS build
+WORKDIR /src
+
+# Warm the module cache first so source edits don't re-download deps.
+COPY go.mod ./
+RUN go mod download
+
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /offloadd ./cmd/offloadd
+
+# Distroless static: no shell, no package manager, nonroot by default.
+FROM gcr.io/distroless/static-debian12:nonroot
+COPY --from=build /offloadd /offloadd
+EXPOSE 8080
+ENTRYPOINT ["/offloadd"]

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt race fuzz chaos ci determinism shards metrics-golden spans-golden golden offbench-bin bench bench-micro bench-json bench-gate bench-full results examples serve loadtest serve-smoke clean
+.PHONY: all build test vet fmt race fuzz chaos ci determinism shards metrics-golden spans-golden golden offbench-bin bench bench-micro bench-json bench-gate bench-full results examples serve loadtest serve-smoke docker clean
 
 # The offbench binary shared by the determinism and golden targets; built
 # once per make invocation instead of once per target.
@@ -32,19 +32,21 @@ race:
 
 # Short fuzzing smoke runs over the fault-injector invariants, the span
 # JSONL codec, the Page–Hinkley drift detector, the shard-barrier
-# determinism property and the Prometheus name sanitizer. Longer local
-# sessions:
+# determinism property, the Prometheus name sanitizer and the DAG
+# validator/topological-sort invariants. Longer local sessions:
 #   go test -fuzz=FuzzFaultInjector -fuzztime=5m ./internal/fault/
 #   go test -fuzz=FuzzReadSpansJSONL -fuzztime=5m ./internal/trace/
 #   go test -fuzz=FuzzDriftDetector -fuzztime=5m ./internal/adapt/
 #   go test -fuzz=FuzzShardBarrier -fuzztime=5m ./internal/sim/
 #   go test -fuzz=FuzzSanitizeName -fuzztime=5m ./internal/metrics/
+#   go test -fuzz=FuzzDAGValidate -fuzztime=5m ./internal/dag/
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzFaultInjector -fuzztime=10s ./internal/fault/
 	$(GO) test -run='^$$' -fuzz=FuzzReadSpansJSONL -fuzztime=10s ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzDriftDetector -fuzztime=10s ./internal/adapt/
 	$(GO) test -run='^$$' -fuzz=FuzzShardBarrier -fuzztime=10s ./internal/sim/
 	$(GO) test -run='^$$' -fuzz=FuzzSanitizeName -fuzztime=10s ./internal/metrics/
+	$(GO) test -run='^$$' -fuzz=FuzzDAGValidate -fuzztime=10s ./internal/dag/
 
 # Everything CI runs, in order: the gates plus the determinism diffs.
 ci: build vet fmt test race fuzz determinism metrics-golden spans-golden serve-smoke
@@ -68,6 +70,9 @@ determinism: offbench-bin
 	$(OFFBENCH_BIN) -scale quick -csv -seed 1 -exp E21 -shards 1 -quiet > /tmp/offbench-e21-serial.txt
 	$(OFFBENCH_BIN) -scale quick -csv -seed 1 -exp E21 -shards 7 -quiet > /tmp/offbench-e21-sharded.txt
 	cmp /tmp/offbench-e21-serial.txt /tmp/offbench-e21-sharded.txt
+	$(OFFBENCH_BIN) -scale quick -csv -seed 1 -exp E22 -parallel 1 -quiet > /tmp/offbench-e22-serial.txt
+	$(OFFBENCH_BIN) -scale quick -csv -seed 1 -exp E22 -parallel 4 -quiet > /tmp/offbench-e22-parallel.txt
+	cmp /tmp/offbench-e22-serial.txt /tmp/offbench-e22-parallel.txt
 
 # The sharded-engine drill: the cross-shard determinism property and
 # fleet tests under the race detector, then the E21 quick run diffed
@@ -149,6 +154,10 @@ bench-gate: bench-micro
 results:
 	mkdir -p results
 	$(GO) run ./cmd/offbench -scale full | tee results/offbench_full.txt
+
+# Build the offloadd container image: static Go binary on distroless.
+docker:
+	docker build -t offloadd .
 
 # Run the serve-mode daemon in the foreground on :9090 (wall clock,
 # default policy). Ctrl-C drains gracefully.

@@ -137,6 +137,10 @@ func BenchmarkE20Failover(b *testing.B) { benchExperiment(b, "E20") }
 // crowd (quick scale: 2500 UEs; the 1M-UE run is -scale full only).
 func BenchmarkE21FlashCrowd(b *testing.B) { benchExperiment(b, "E21") }
 
+// BenchmarkE22DAGPlacement regenerates Table 16: precedence-oblivious
+// release vs upward-rank placement on DAG jobs.
+func BenchmarkE22DAGPlacement(b *testing.B) { benchExperiment(b, "E22") }
+
 // --- micro-benchmarks for the core algorithms ---
 
 // BenchmarkSimEngine measures raw event throughput of the kernel.

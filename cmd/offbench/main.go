@@ -1,4 +1,4 @@
-// Command offbench regenerates the evaluation suite E1–E19 from DESIGN.md
+// Command offbench regenerates the evaluation suite E1–E22 from DESIGN.md
 // and prints each table (aligned text by default, CSV with -csv).
 //
 // Experiments run on a bounded worker pool (-parallel, default NumCPU)

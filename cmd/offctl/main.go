@@ -16,6 +16,8 @@
 //	offctl trace chrome spans.jsonl out.json   # convert to Chrome trace format
 //	offctl load -url http://host:9090 -rate 10000 -duration 10s   # drive offloadd
 //	offctl scrape host:9090                    # pretty-print a /metrics endpoint
+//	offctl dag -app video-transcode            # call graph → DAG job summary
+//	offctl dag -shape fork-join -nodes 10 -dot # generated job as Graphviz DOT
 package main
 
 import (
@@ -72,6 +74,11 @@ func main() {
 		return
 	case "scrape":
 		if err := runScrape(os.Args[2:], os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	case "dag":
+		if err := runDAG(os.Args[2:], os.Stdout); err != nil {
 			fail(err)
 		}
 		return
@@ -365,7 +372,9 @@ commands:
               or convert it to Chrome trace format
   load        drive an offloadd daemon at a target rate and report
               throughput, latency quantiles and shed rates
-  scrape      fetch a Prometheus /metrics endpoint and show the top series`)
+  scrape      fetch a Prometheus /metrics endpoint and show the top series
+  dag         build a DAG job (from a call graph or the generator family)
+              and print its structure as a table or Graphviz DOT`)
 	os.Exit(2)
 }
 

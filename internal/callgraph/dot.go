@@ -2,14 +2,17 @@ package callgraph
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
 // DOT renders the graph in Graphviz format. Pinned components are drawn
 // as boxes, offloadable ones as ellipses; node labels carry per-run
-// demand, edge labels the per-run payload. If remote is non-nil, offloaded
-// components are filled — `offctl partition | dot -Tsvg` visualises a
-// partition.
+// demand, edge labels the per-run payload. Edges are drawn with a
+// penwidth and layout weight scaled by their data payload, so the
+// heaviest transfer — the one a partition should avoid cutting — is the
+// thickest line on the page. If remote is non-nil, offloaded components
+// are filled — `offctl partition | dot -Tsvg` visualises a partition.
 func (g *Graph) DOT(remote map[string]bool) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", g.name)
@@ -24,13 +27,50 @@ func (g *Graph) DOT(remote map[string]bool) string {
 		}
 		fmt.Fprintf(&b, "  %q [%s];\n", c.Name, attrs)
 	}
+	var maxBytes int64
+	for _, e := range g.edges {
+		if w := edgeBytes(e); w > maxBytes {
+			maxBytes = w
+		}
+	}
 	for _, e := range g.edges {
 		from := g.components[e.From].Name
 		to := g.components[e.To].Name
-		fmt.Fprintf(&b, "  %q -> %q [label=\"%s\"];\n", from, to, byteLabel(int64(float64(e.Bytes)*e.CallsPerRun)))
+		w := edgeBytes(e)
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%s\", penwidth=%.1f, weight=%d];\n",
+			from, to, byteLabel(w), penwidth(w, maxBytes), layoutWeight(w, maxBytes))
 	}
 	b.WriteString("}\n")
 	return b.String()
+}
+
+// edgeBytes is the per-run payload the edge carries.
+func edgeBytes(e Edge) int64 {
+	return int64(float64(e.Bytes) * e.CallsPerRun)
+}
+
+// penwidth maps a payload to a line width in [1, 5], log-scaled against
+// the heaviest edge so byte ratios spanning orders of magnitude stay
+// readable.
+func penwidth(bytes, maxBytes int64) float64 {
+	if maxBytes <= 0 || bytes <= 0 {
+		return 1
+	}
+	frac := math.Log1p(float64(bytes)) / math.Log1p(float64(maxBytes))
+	return 1 + 4*frac
+}
+
+// layoutWeight maps a payload to an integer Graphviz rank weight in
+// [1, 10]: heavy data paths are kept short and straight.
+func layoutWeight(bytes, maxBytes int64) int {
+	if maxBytes <= 0 || bytes <= 0 {
+		return 1
+	}
+	w := int(math.Round(10 * float64(bytes) / float64(maxBytes)))
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 func byteLabel(n int64) string {

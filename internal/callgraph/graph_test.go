@@ -2,6 +2,8 @@ package callgraph
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -302,5 +304,41 @@ func TestRandomDeterministic(t *testing.T) {
 		if ae[i] != be[i] {
 			t.Fatal("Random edges differ for equal seeds")
 		}
+	}
+}
+
+// TestDOTGolden pins the full rendered DOT of a stock template, data
+// weights included, so any drift in the export format is a conscious
+// golden update rather than an accident.
+func TestDOTGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "photo-pipeline.dot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Templates()["photo-pipeline"].DOT(nil)
+	if got != string(want) {
+		t.Errorf("photo-pipeline DOT drifted from testdata/photo-pipeline.dot:\n%s", got)
+	}
+}
+
+func TestDOTDataWeights(t *testing.T) {
+	g := New("weights")
+	a := g.MustAddComponent(Component{Name: "a", Cycles: 1e9, CallsPerRun: 1})
+	b := g.MustAddComponent(Component{Name: "b", Cycles: 1e9, CallsPerRun: 1})
+	c := g.MustAddComponent(Component{Name: "c", Cycles: 1e9, CallsPerRun: 1})
+	g.MustAddEdge(Edge{From: a, To: b, Bytes: 100 << 20, CallsPerRun: 1})
+	g.MustAddEdge(Edge{From: b, To: c, Bytes: 1 << 10, CallsPerRun: 1})
+	dot := g.DOT(nil)
+	// The heaviest edge gets the maximum pen width and layout weight; the
+	// light edge is visibly thinner with minimum weight.
+	if !strings.Contains(dot, `"a" -> "b" [label="100.0 MB", penwidth=5.0, weight=10]`) {
+		t.Errorf("heavy edge not max-weighted:\n%s", dot)
+	}
+	if !strings.Contains(dot, `"b" -> "c" [label="1.0 KB", penwidth=2.5, weight=1]`) {
+		t.Errorf("light edge weights wrong:\n%s", dot)
+	}
+	// Degenerate inputs stay in range.
+	if penwidth(0, 0) != 1 || layoutWeight(0, 0) != 1 {
+		t.Error("zero-byte edges must render at minimum weight")
 	}
 }

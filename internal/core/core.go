@@ -10,6 +10,7 @@ import (
 
 	"offload/internal/adapt"
 	"offload/internal/cloudvm"
+	"offload/internal/dag"
 	"offload/internal/device"
 	"offload/internal/edge"
 	"offload/internal/fault"
@@ -146,6 +147,13 @@ type Config struct {
 	// every code path and rng stream exactly as before.
 	Regions *RegionsConfig
 
+	// DAG enables precedence-aware job submission (SubmitJob /
+	// SubmitJobStream) through an internal/dag Orchestrator. Strictly
+	// opt-in and randomness-free: nil changes no code path or rng stream.
+	// Mutually exclusive with Batch and OffPeakShift, whose wrappers the
+	// orchestrator's node dispatches would bypass.
+	DAG *DAGConfig
+
 	// ShardCount partitions a fleet-scale run (NewShardedFleet) across
 	// this many worker shards advancing in lockstep epochs against a
 	// hub engine that owns the shared substrates — see sim.ShardedEngine.
@@ -236,11 +244,13 @@ type System struct {
 	Scheduler *sched.Scheduler
 	Batcher   *sched.Batcher        // nil unless batching is configured
 	Shifter   *sched.OffPeakShifter // nil unless off-peak shifting is on
+	Jobs      *dag.Orchestrator     // nil unless a DAG block is configured
 	Recorder  *trace.Recorder
 
 	observer *Observer           // nil unless Observe was called
 	spanRec  *trace.SpanRecorder // nil unless EnableSpans was called
 	adapt    *adapt.Controller   // nil unless the adaptive layer is on
+	jobErr   error               // first in-stream job submission error
 	cfg      Config
 }
 
@@ -374,6 +384,18 @@ func NewSystem(cfg Config) (*System, error) {
 			return nil, err
 		}
 		sys.Shifter = sh
+	}
+	if cfg.DAG != nil {
+		if cfg.Batch != nil || cfg.OffPeakShift {
+			return nil, fmt.Errorf("core: DAG is mutually exclusive with Batch and OffPeakShift")
+		}
+		placer, err := cfg.DAG.placer()
+		if err != nil {
+			return nil, err
+		}
+		// The orchestrator draws no randomness and adds no events of its
+		// own, so configurations without DAG keep byte-identical streams.
+		sys.Jobs = dag.NewOrchestrator(s, placer)
 	}
 	if cfg.Fault != nil {
 		if sys.Platform() == nil {
@@ -594,6 +616,9 @@ func (s *System) EnableSpans() *trace.SpanRecorder {
 		s.Scheduler.SetTracer(s.spanRec)
 		if s.adapt != nil {
 			s.adapt.SetTracer(s.spanRec)
+		}
+		if s.Jobs != nil {
+			s.Jobs.SetTracer(s.spanRec)
 		}
 	}
 	return s.spanRec

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"offload/internal/dag"
+	"offload/internal/workload"
+)
+
+// DAGPlacement selects how a DAG job's nodes are placed.
+type DAGPlacement string
+
+// The DAG placement modes.
+const (
+	// DAGOblivious releases each ready node to the configured Policy as if
+	// it were an independent task — the precedence-oblivious baseline.
+	DAGOblivious DAGPlacement = "oblivious"
+	// DAGRank plans every node up front with HEFT-style upward-rank list
+	// scheduling over the predictor's estimates.
+	DAGRank DAGPlacement = "rank"
+)
+
+// DAGConfig enables precedence-aware job submission: SubmitJob and
+// SubmitJobStream drive multi-node dag.Jobs through the scheduler, a
+// node dispatching only when all its predecessors completed. Strictly
+// opt-in and randomness-free: a nil DAG changes no code path and no rng
+// stream, and single-task submission keeps working alongside it.
+type DAGConfig struct {
+	// Placement picks the placer; empty defaults to DAGOblivious.
+	Placement DAGPlacement
+}
+
+func (c *DAGConfig) placer() (dag.Placer, error) {
+	switch c.Placement {
+	case DAGOblivious, "":
+		return dag.Oblivious{}, nil
+	case DAGRank:
+		return dag.Rank{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown DAG placement %q", c.Placement)
+	}
+}
+
+// SubmitJob routes one DAG job through the orchestrator. The
+// configuration must carry a DAG block.
+func (s *System) SubmitJob(job *dag.Job) error {
+	if s.Jobs == nil {
+		return fmt.Errorf("core: SubmitJob without Config.DAG")
+	}
+	return s.Jobs.Submit(job)
+}
+
+// SubmitJobStream schedules count job arrivals from the generator.
+// Submission errors inside the stream (an invalid generated job) surface
+// on the first Err call after Run.
+func (s *System) SubmitJobStream(arrivals workload.Arrivals, gen *workload.JobGenerator, count int) error {
+	if s.Jobs == nil {
+		return fmt.Errorf("core: SubmitJobStream without Config.DAG")
+	}
+	workload.JobStream(s.Eng, arrivals, gen, count, func(j *dag.Job) {
+		if err := s.Jobs.Submit(j); err != nil && s.jobErr == nil {
+			s.jobErr = err
+		}
+	})
+	return nil
+}
+
+// JobErr returns the first in-stream job submission error, or nil.
+func (s *System) JobErr() error { return s.jobErr }
+
+// JobStats returns the orchestrator's aggregate job statistics, or nil
+// when the configuration has no DAG block.
+func (s *System) JobStats() *dag.Stats {
+	if s.Jobs == nil {
+		return nil
+	}
+	return s.Jobs.Stats()
+}

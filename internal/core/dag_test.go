@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"offload/internal/dag"
+	"offload/internal/rng"
+	"offload/internal/trace"
+	"offload/internal/workload"
+)
+
+func dagConfig(p DAGPlacement) Config {
+	cfg := DefaultConfig()
+	cfg.DAG = &DAGConfig{Placement: p}
+	return cfg
+}
+
+func testJobTemplate() workload.JobTemplate {
+	return workload.JobTemplate{
+		App: "dagapp", Shape: workload.ShapeForkJoin, Nodes: 6,
+		MeanCycles: 2e9, CyclesSigma: 0.2,
+		EdgeBytes: 128 << 10, InputBytes: 1 << 20, OutputBytes: 1 << 19,
+		Deadline: 3600,
+	}
+}
+
+func TestDAGConfigValidation(t *testing.T) {
+	cfg := dagConfig("spiral")
+	if _, err := NewSystem(cfg); err == nil {
+		t.Error("unknown placement accepted")
+	}
+
+	cfg = dagConfig(DAGRank)
+	cfg.Batch = &BatchConfig{Size: 4, MaxWait: 1}
+	if _, err := NewSystem(cfg); err == nil {
+		t.Error("DAG combined with Batch accepted")
+	}
+
+	sys, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Jobs != nil {
+		t.Error("orchestrator present without a DAG block")
+	}
+	if err := sys.SubmitJob(dag.New("x", 0)); err == nil {
+		t.Error("SubmitJob without DAG block accepted")
+	}
+	if sys.JobStats() != nil {
+		t.Error("JobStats without DAG block non-nil")
+	}
+}
+
+func TestDAGSystemRunsJobsAndReports(t *testing.T) {
+	for _, placement := range []DAGPlacement{DAGOblivious, DAGRank} {
+		t.Run(string(placement), func(t *testing.T) {
+			sys, err := NewSystem(dagConfig(placement))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen, err := workload.NewJobGenerator(rng.New(41), testJobTemplate())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.SubmitJobStream(&workload.Fixed{Gap: 5}, gen, 6); err != nil {
+				t.Fatal(err)
+			}
+			sys.Run()
+			if err := sys.JobErr(); err != nil {
+				t.Fatalf("in-stream submission error: %v", err)
+			}
+			st := sys.JobStats()
+			if st.Jobs != 6 || st.Failed != 0 {
+				t.Fatalf("jobs %d failed %d, want 6/0", st.Jobs, st.Failed)
+			}
+			if st.NodesCompleted != 36 {
+				t.Fatalf("nodes completed %d, want 36", st.NodesCompleted)
+			}
+			if st.MaxDriftS() > 1e-9 {
+				t.Fatalf("critical-path drift %g > 1e-9", st.MaxDriftS())
+			}
+			r := sys.Report()
+			if r.Jobs != 6 || r.MeanMakespanS <= 0 || r.P95MakespanS < r.MeanMakespanS*0.5 {
+				t.Fatalf("report job block implausible: %+v", r)
+			}
+			if r.MeanCritS <= 0 || r.MeanCritS > r.MeanMakespanS+1e-9 {
+				t.Fatalf("mean critical path %g vs makespan %g", r.MeanCritS, r.MeanMakespanS)
+			}
+			if math.IsNaN(r.MeanSlackS) || r.MeanSlackS < 0 {
+				t.Fatalf("mean slack %g", r.MeanSlackS)
+			}
+			// The per-task side sees every node as a completed task.
+			if r.Completed != 36 {
+				t.Fatalf("completed tasks %d, want 36", r.Completed)
+			}
+		})
+	}
+}
+
+func TestDAGJobSpans(t *testing.T) {
+	sys, err := NewSystem(dagConfig(DAGRank))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.EnableSpans()
+	gen, err := workload.NewJobGenerator(rng.New(42), testJobTemplate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SubmitJobStream(&workload.Fixed{Gap: 5}, gen, 3); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+
+	set := sys.SpanSet()
+	if set == nil {
+		t.Fatal("no span set")
+	}
+	jobRoots := map[uint64]trace.Span{}
+	taskRoots := map[uint64][]trace.Span{} // parent span ID → adopted task roots
+	for _, sp := range set.Spans {
+		if sp.Name == trace.SpanJob {
+			jobRoots[sp.ID] = sp
+		}
+		if sp.Name == trace.SpanTask && sp.Parent != 0 {
+			taskRoots[sp.Parent] = append(taskRoots[sp.Parent], sp)
+		}
+	}
+	if len(jobRoots) != 3 {
+		t.Fatalf("job root spans %d, want 3", len(jobRoots))
+	}
+	for id, root := range jobRoots {
+		kids := taskRoots[id]
+		if len(kids) != 6 {
+			t.Fatalf("job span %d has %d task children, want 6", id, len(kids))
+		}
+		if root.Status != "ok" {
+			t.Errorf("job span status %q, want \"ok\"", root.Status)
+		}
+		for _, k := range kids {
+			if k.Start < root.Start-1e-9 || k.End > root.End+1e-9 {
+				t.Errorf("task span [%g,%g] escapes job span [%g,%g]",
+					k.Start, k.End, root.Start, root.End)
+			}
+		}
+	}
+}
+
+func TestShardedFleetRejectsDAG(t *testing.T) {
+	cfg := dagConfig(DAGOblivious)
+	if _, err := NewShardedFleet(cfg, 10); err == nil {
+		t.Error("sharded fleet accepted a DAG config")
+	}
+}

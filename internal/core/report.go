@@ -40,6 +40,17 @@ type Report struct {
 	// before the run; empty otherwise, so span-free reports are
 	// unchanged.
 	Phases []PhaseShare
+
+	// Job-level summaries, filled only when the configuration carries a
+	// DAG block and jobs were submitted; zero otherwise, so task-only
+	// reports are unchanged.
+	Jobs          uint64
+	JobsFailed    uint64
+	NodesSkipped  uint64
+	MeanMakespanS float64
+	P95MakespanS  float64
+	MeanCritS     float64 // mean summed critical-path seconds per job
+	MeanSlackS    float64 // mean per-node earliest-start slack
 }
 
 // PhaseShare is one critical-path phase's contribution to completion
@@ -80,6 +91,15 @@ func (s *System) Report() Report {
 	if p := s.Platform(); p != nil {
 		r.ColdStartFraction = p.ColdStartFraction()
 	}
+	if js := s.JobStats(); js != nil {
+		r.Jobs = js.Jobs
+		r.JobsFailed = js.Failed
+		r.NodesSkipped = js.NodesSkipped
+		r.MeanMakespanS = js.MeanMakespanS()
+		r.P95MakespanS = js.P95MakespanS()
+		r.MeanCritS = js.MeanCritPathS()
+		r.MeanSlackS = js.MeanSlackS()
+	}
 	if set := s.SpanSet(); set != nil {
 		if g := trace.Attribute(set).Group("all"); g != nil {
 			for _, phase := range trace.Phases {
@@ -118,6 +138,15 @@ func (r Report) Table() *metrics.Table {
 	t.AddRowf("cold-start fraction", fmtF(r.ColdStartFraction))
 	for _, ph := range r.Phases {
 		t.AddRowf("phase "+ph.Phase+" (s)", fmtF(ph.MeanS))
+	}
+	if r.Jobs > 0 {
+		t.AddRowf("jobs", r.Jobs)
+		t.AddRowf("jobs failed", r.JobsFailed)
+		t.AddRowf("nodes skipped", r.NodesSkipped)
+		t.AddRowf("mean makespan (s)", fmtF(r.MeanMakespanS))
+		t.AddRowf("p95 makespan (s)", fmtF(r.P95MakespanS))
+		t.AddRowf("mean critical path (s)", fmtF(r.MeanCritS))
+		t.AddRowf("mean node slack (s)", fmtF(r.MeanSlackS))
 	}
 	return t
 }

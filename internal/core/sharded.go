@@ -150,6 +150,8 @@ func NewShardedFleet(cfg Config, n int) (*ShardedFleet, error) {
 		return nil, fmt.Errorf("core: sharded fleet does not support DailyBudgetUSD")
 	case cfg.Fault != nil || cfg.EdgeFault != nil || cfg.VMFault != nil:
 		return nil, fmt.Errorf("core: sharded fleet does not support fault injection")
+	case cfg.DAG != nil:
+		return nil, fmt.Errorf("core: sharded fleet does not support DAG jobs")
 	}
 	if err := cfg.Device.Validate(); err != nil {
 		return nil, err

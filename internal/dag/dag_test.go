@@ -1,0 +1,173 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustJob(t *testing.T, build func(j *Job)) *Job {
+	t.Helper()
+	j := New("test", 60)
+	build(j)
+	if err := j.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return j
+}
+
+func node(name string) Node { return Node{Name: name, Cycles: 1e9} }
+
+func TestBuilderRejections(t *testing.T) {
+	j := New("bad", 0)
+	if _, err := j.AddNode(Node{}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := j.AddNode(Node{Name: "a", Cycles: -1}); err == nil {
+		t.Error("negative cycles accepted")
+	}
+	if _, err := j.AddNode(Node{Name: "a", ParallelFraction: 2}); err == nil {
+		t.Error("parallel fraction 2 accepted")
+	}
+	a := j.MustAddNode(node("a"))
+	if _, err := j.AddNode(node("a")); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	b := j.MustAddNode(node("b"))
+	if err := j.AddEdge(Edge{From: a, To: a}); err == nil {
+		t.Error("self edge accepted")
+	}
+	if err := j.AddEdge(Edge{From: a, To: 99}); err == nil {
+		t.Error("unknown endpoint accepted")
+	}
+	if err := j.AddEdge(Edge{From: a, To: b, Bytes: -1}); err == nil {
+		t.Error("negative payload accepted")
+	}
+	if err := j.AddEdge(Edge{From: a, To: b, Bytes: 1}); err != nil {
+		t.Fatalf("valid edge rejected: %v", err)
+	}
+	if err := j.AddEdge(Edge{From: a, To: b, Bytes: 2}); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+}
+
+func TestValidateCycle(t *testing.T) {
+	j := New("cyclic", 0)
+	a := j.MustAddNode(node("a"))
+	b := j.MustAddNode(node("b"))
+	c := j.MustAddNode(node("c"))
+	j.MustAddEdge(Edge{From: a, To: b})
+	j.MustAddEdge(Edge{From: b, To: c})
+	j.MustAddEdge(Edge{From: c, To: a})
+	err := j.Validate()
+	if err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("error %q does not name the cycle", err)
+	}
+
+	if err := New("empty", 0).Validate(); err == nil {
+		t.Error("empty job validated")
+	}
+}
+
+func TestTopoOrderDeterministic(t *testing.T) {
+	// Diamond a→{b,c}→d, plus an isolated source e: the topological order
+	// must be ascending among simultaneously-ready nodes regardless of
+	// edge insertion order.
+	type edge struct{ from, to string }
+	edges := []edge{{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}}
+	build := func(order []int) *Job {
+		j := New("diamond", 0)
+		for _, n := range []string{"a", "b", "c", "d", "e"} {
+			j.MustAddNode(node(n))
+		}
+		for _, i := range order {
+			if err := j.Connect(edges[i].from, edges[i].to, 1); err != nil {
+				t.Fatalf("connect: %v", err)
+			}
+		}
+		if err := j.Validate(); err != nil {
+			t.Fatalf("Validate: %v", err)
+		}
+		return j
+	}
+	want := build([]int{0, 1, 2, 3}).TopoOrder()
+	got := build([]int{3, 2, 1, 0}).TopoOrder()
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("topo order depends on insertion order: %v vs %v", want, got)
+		}
+	}
+	// Ready set drains ascending: a(0) first (e is also ready but 4 > 0),
+	// then b(1), c(2); d(3) unblocks before e(4) is drained.
+	wantSeq := []NodeID{0, 1, 2, 3, 4}
+	for i, id := range want {
+		if id != wantSeq[i] {
+			t.Fatalf("topo order %v, want %v", want, wantSeq)
+		}
+	}
+}
+
+func TestValidateTwiceStable(t *testing.T) {
+	j := mustJob(t, func(j *Job) {
+		a := j.MustAddNode(node("a"))
+		b := j.MustAddNode(node("b"))
+		j.MustAddEdge(Edge{From: a, To: b, Bytes: 8})
+	})
+	first := j.TopoOrder()
+	if err := j.Validate(); err != nil {
+		t.Fatalf("revalidate: %v", err)
+	}
+	second := j.TopoOrder()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("topo order changed across Validate calls: %v vs %v", first, second)
+		}
+	}
+}
+
+func TestTaskSizes(t *testing.T) {
+	j := mustJob(t, func(j *Job) {
+		a := j.MustAddNode(Node{Name: "a", Cycles: 1, InputBytes: 100})
+		b := j.MustAddNode(Node{Name: "b", Cycles: 1, OutputBytes: 7})
+		c := j.MustAddNode(Node{Name: "c", Cycles: 1})
+		j.MustAddEdge(Edge{From: a, To: b, Bytes: 10})
+		j.MustAddEdge(Edge{From: a, To: c, Bytes: 20})
+		j.MustAddEdge(Edge{From: c, To: b, Bytes: 40})
+	})
+	cases := []struct {
+		id      NodeID
+		in, out int64
+	}{
+		{0, 100, 30}, // external input + two outgoing edges
+		{1, 50, 7},   // two incoming edges + external output
+		{2, 20, 40},
+	}
+	for _, tc := range cases {
+		in, out := j.TaskSizes(tc.id)
+		if in != tc.in || out != tc.out {
+			t.Errorf("TaskSizes(%d) = (%d, %d), want (%d, %d)", tc.id, in, out, tc.in, tc.out)
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	j := mustJob(t, func(j *Job) {
+		a := j.MustAddNode(Node{Name: "decode", Cycles: 2e9, InputBytes: 4 << 20})
+		b := j.MustAddNode(Node{Name: "encode", Cycles: 3e9, OutputBytes: 1 << 20})
+		j.MustAddEdge(Edge{From: a, To: b, Bytes: 2 << 20})
+	})
+	dot := j.DOT()
+	for _, want := range []string{
+		`digraph "test"`,
+		`"decode" -> "encode" [label="2.0 MB"]`,
+		`"device" -> "decode" [style=dashed, label="4.0 MB"]`,
+		`"encode" -> "device" [style=dashed, label="1.0 MB"]`,
+		`2 Gcyc`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package dag
+
+import (
+	"testing"
+)
+
+// FuzzDAGValidate throws arbitrary edge sets at the job builder and checks
+// the structural invariants Validate promises: self-edges and duplicate
+// edges are rejected at insertion, every accepted job yields a topological
+// order that is a permutation of the nodes respecting all edges, the order
+// is stable across repeated Validate calls, and it does not depend on edge
+// insertion order.
+func FuzzDAGValidate(f *testing.F) {
+	f.Add([]byte{3, 0, 1, 1, 2})
+	f.Add([]byte{1})
+	f.Add([]byte{4, 0, 1, 0, 2, 1, 3, 2, 3})
+	f.Add([]byte{2, 0, 1, 1, 0}) // cycle
+	f.Add([]byte{5, 0, 0, 0, 1, 0, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0])%16 + 1
+		data = data[1:]
+
+		build := func(reverse bool) (*Job, [][2]NodeID) {
+			j := New("fuzz", 0)
+			for i := 0; i < n; i++ {
+				j.MustAddNode(Node{Name: string(rune('a' + i)), Cycles: 1})
+			}
+			var pairs [][2]NodeID
+			for i := 0; i+1 < len(data); i += 2 {
+				pairs = append(pairs, [2]NodeID{
+					NodeID(int(data[i]) % n), NodeID(int(data[i+1]) % n),
+				})
+			}
+			if reverse {
+				for l, r := 0, len(pairs)-1; l < r; l, r = l+1, r-1 {
+					pairs[l], pairs[r] = pairs[r], pairs[l]
+				}
+			}
+			seen := make(map[[2]NodeID]bool)
+			var accepted [][2]NodeID
+			for _, p := range pairs {
+				err := j.AddEdge(Edge{From: p[0], To: p[1], Bytes: 1})
+				switch {
+				case p[0] == p[1]:
+					if err == nil {
+						t.Fatalf("self edge %v accepted", p)
+					}
+				case seen[p]:
+					if err == nil {
+						t.Fatalf("duplicate edge %v accepted", p)
+					}
+				default:
+					if err != nil {
+						t.Fatalf("valid edge %v rejected: %v", p, err)
+					}
+					seen[p] = true
+					accepted = append(accepted, p)
+				}
+			}
+			return j, accepted
+		}
+
+		j, edges := build(false)
+		err := j.Validate()
+		if err != nil {
+			// The only failure left for a well-formed edge set is a cycle;
+			// validating again must keep failing identically.
+			if err2 := j.Validate(); err2 == nil {
+				t.Fatal("Validate failed then succeeded on the same job")
+			}
+			return
+		}
+
+		checkTopo := func(topo []NodeID) {
+			if len(topo) != n {
+				t.Fatalf("topo order has %d nodes, want %d", len(topo), n)
+			}
+			pos := make(map[NodeID]int, n)
+			for i, id := range topo {
+				if _, dup := pos[id]; dup {
+					t.Fatalf("node %d appears twice in topo order %v", id, topo)
+				}
+				pos[id] = i
+			}
+			for _, e := range edges {
+				if pos[e[0]] >= pos[e[1]] {
+					t.Fatalf("edge %v violated by topo order %v", e, topo)
+				}
+			}
+		}
+		first := j.TopoOrder()
+		checkTopo(first)
+
+		// Re-validating must reproduce the same order.
+		if err := j.Validate(); err != nil {
+			t.Fatalf("revalidate failed: %v", err)
+		}
+		for i, id := range j.TopoOrder() {
+			if id != first[i] {
+				t.Fatalf("topo order changed across Validate calls")
+			}
+		}
+
+		// Inserting the same edges in reverse order must not change it.
+		rj, _ := build(true)
+		if err := rj.Validate(); err != nil {
+			t.Fatalf("reverse insertion of an acyclic edge set failed: %v", err)
+		}
+		for i, id := range rj.TopoOrder() {
+			if id != first[i] {
+				t.Fatalf("topo order depends on insertion order: %v vs %v",
+					rj.TopoOrder(), first)
+			}
+		}
+	})
+}

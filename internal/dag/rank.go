@@ -1,0 +1,328 @@
+package dag
+
+import (
+	"math"
+
+	"offload/internal/model"
+	"offload/internal/network"
+	"offload/internal/sched"
+)
+
+// Placer plans where a job's nodes run before the first node dispatches.
+type Placer interface {
+	// Name identifies the placer in results tables.
+	Name() string
+	// Place returns one placement per node, or nil to let the scheduler's
+	// configured policy decide each node at its release time.
+	Place(job *Job, env *sched.Env, pred sched.Predictor) []model.Placement
+}
+
+// Oblivious is the precedence-oblivious baseline: ready nodes are
+// submitted to the scheduler's configured policy one by one, exactly as
+// independent tasks would be. The policy sees each node's queue states
+// and deadline but never the job structure.
+type Oblivious struct{}
+
+var _ Placer = Oblivious{}
+
+// Name implements Placer.
+func (Oblivious) Name() string { return "oblivious" }
+
+// Place implements Placer by declining to plan.
+func (Oblivious) Place(*Job, *sched.Env, sched.Predictor) []model.Placement { return nil }
+
+// Rank is HEFT-style upward-rank list scheduling. Each node's mean
+// execution estimate across the available placements feeds its upward
+// rank (the length of the longest estimate-weighted path to an exit
+// node); nodes are then planned in descending rank order onto the
+// placement finishing them earliest, against per-placement slot
+// availability. Data transfers are already inside each placement's
+// estimate — the relay data model charges every edge through the device
+// regardless of co-placement — so the classic c̄ edge term is zero here.
+//
+// Planned finish times model contention on both resources a remote node
+// consumes: a compute slot AND airtime on its network path. Serialized
+// paths (a half-duplex radio) carry one transfer at a time, so a wide
+// job's branches cannot all ship concurrently no matter how elastic the
+// remote substrate is — without the airtime term the planner would
+// happily "parallelise" onto a substrate whose uplink serialises every
+// byte, and the real run would queue on the radio.
+//
+// Rank plans makespan, not money: it is the latency-optimal counterpart
+// to the cost-minimising deadline-aware baseline.
+type Rank struct{}
+
+var _ Placer = Rank{}
+
+// Name implements Placer.
+func (Rank) Name() string { return "rank" }
+
+// functionSlots caps the modelled concurrency of the elastic serverless
+// substrate during planning. Practically unbounded next to any one job's
+// width, but finite so the slot table stays small.
+const functionSlots = 256
+
+// Place implements Placer.
+func (Rank) Place(job *Job, env *sched.Env, pred sched.Predictor) []model.Placement {
+	n := job.Len()
+	avail := env.Available()
+
+	// w[id][p]: estimated uplink/execute/downlink seconds of node id at
+	// placement p; infinite where the placement cannot serve the node.
+	w := make([]map[model.Placement]estimate, n)
+	wbar := make([]float64, n)
+	for id := 0; id < n; id++ {
+		w[id] = nodeEstimates(job, NodeID(id), env, pred)
+		sum, cnt := 0.0, 0
+		for _, p := range avail {
+			if v := w[id][p].total(); !math.IsInf(v, 1) {
+				sum += v
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			// Nothing can serve it as planned; rank it by its local estimate
+			// and let dispatch surface the failure.
+			wbar[id] = w[id][model.PlaceLocal].total()
+			if math.IsInf(wbar[id], 1) {
+				wbar[id] = 0
+			}
+			continue
+		}
+		wbar[id] = sum / float64(cnt)
+	}
+
+	// Upward ranks, computed in reverse topological order so successors
+	// are ranked before their predecessors.
+	rank := make([]float64, n)
+	topo := job.TopoOrder()
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		best := 0.0
+		for _, s := range job.Succs(id) {
+			if rank[s] > best {
+				best = rank[s]
+			}
+		}
+		rank[id] = wbar[id] + best
+	}
+
+	// List-schedule by descending rank (ties: ascending NodeID, so the
+	// plan is a pure function of the job and the estimates).
+	order := make([]NodeID, len(topo))
+	copy(order, topo)
+	for i := 1; i < len(order); i++ {
+		for k := i; k > 0; k-- {
+			a, b := order[k-1], order[k]
+			if rank[b] > rank[a] || (rank[b] == rank[a] && b < a) {
+				order[k-1], order[k] = b, a
+			} else {
+				break
+			}
+		}
+	}
+
+	slots := slotTable(env)
+	channels := pathChannels(env)
+	aft := make([]float64, n) // planned actual finish time per node
+	out := make([]model.Placement, n)
+	for _, id := range order {
+		ready := 0.0
+		for _, p := range job.Preds(id) {
+			if aft[p] > ready {
+				ready = aft[p]
+			}
+		}
+		bestP, bestSlot := model.PlaceUnknown, -1
+		bestFinish, bestSlotBusy, bestChFree := math.Inf(1), 0.0, 0.0
+		for _, p := range avail {
+			e := w[id][p]
+			if math.IsInf(e.total(), 1) {
+				continue
+			}
+			si, slotFree := slots.earliest(p)
+			var fin, slotBusy, chFree float64
+			if c := channels[p]; c != nil {
+				// The uplink waits for the radio, the execute for a compute
+				// slot, and the node's total airtime (both directions) keeps
+				// the radio busy for the transfers that follow.
+				upEnd := math.Max(ready, c.free) + e.up
+				execEnd := math.Max(upEnd, slotFree) + e.exec
+				fin = execEnd + e.down
+				slotBusy = execEnd
+				chFree = upEnd + e.down
+			} else {
+				fin = math.Max(ready, slotFree) + e.total()
+				slotBusy = fin
+			}
+			if fin < bestFinish {
+				bestP, bestSlot = p, si
+				bestFinish, bestSlotBusy, bestChFree = fin, slotBusy, chFree
+			}
+		}
+		if bestP == model.PlaceUnknown {
+			// Nowhere feasible: fall back to local and keep the plan moving.
+			bestP = model.PlaceLocal
+			si, free := slots.earliest(bestP)
+			bestFinish = math.Max(ready, free) + wbar[id]
+			bestSlot, bestSlotBusy = si, bestFinish
+		}
+		out[id] = bestP
+		aft[id] = bestFinish
+		slots.occupy(bestP, bestSlot, bestSlotBusy)
+		if c := channels[bestP]; c != nil {
+			c.free = bestChFree
+		}
+	}
+	return out
+}
+
+// estimate breaks one node-at-placement plan into its phases: uplink
+// airtime, execution, downlink airtime, in seconds. Local execution has
+// zero transfer terms; an infeasible placement carries an infinite exec.
+type estimate struct {
+	up, exec, down float64
+}
+
+// total is the uncontended end-to-end estimate.
+func (e estimate) total() float64 { return e.up + e.exec + e.down }
+
+// infeasible is the estimate for a placement that cannot serve a node.
+var infeasible = estimate{exec: math.Inf(1)}
+
+// nodeEstimates prices one node at every placement the way the
+// deadline-aware policy does — demand prediction, public substrate
+// execution estimates, network transfer estimates — over the relay-model
+// transfer sizes. Infeasible placements get an infinite estimate.
+func nodeEstimates(job *Job, id NodeID, env *sched.Env, pred sched.Predictor) map[model.Placement]estimate {
+	node := job.Node(id)
+	in, out := job.TaskSizes(id)
+	probe := &model.Task{
+		App:              job.App() + "/" + node.Name,
+		Component:        node.Name,
+		InputBytes:       in,
+		OutputBytes:      out,
+		Cycles:           node.Cycles,
+		MemoryBytes:      node.MemoryBytes,
+		ParallelFraction: node.ParallelFraction,
+		Deadline:         job.Deadline(),
+	}
+	probe.Cycles = pred.PredictCycles(probe)
+
+	ests := map[model.Placement]estimate{
+		model.PlaceLocal:    infeasible,
+		model.PlaceEdge:     infeasible,
+		model.PlaceFunction: infeasible,
+		model.PlaceVM:       infeasible,
+	}
+	if dev := env.Device; dev != nil && !dev.Dead() {
+		ests[model.PlaceLocal] = estimate{exec: float64(dev.ExecTime(probe))}
+	}
+	if env.Edge != nil {
+		cfg := env.Edge.Config()
+		if cfg.MemoryPerServer == 0 || probe.MemoryBytes <= cfg.MemoryPerServer {
+			ests[model.PlaceEdge] = estimate{
+				up:   float64(env.EdgePath.EstimateTransfer(in, network.Uplink)),
+				exec: float64(env.Edge.ExecTime(probe)),
+				down: float64(env.EdgePath.EstimateTransfer(out, network.Downlink)),
+			}
+		}
+	}
+	if env.Functions != nil {
+		if dec, err := env.Functions.EstimateFor(probe, probe.Cycles); err == nil {
+			ests[model.PlaceFunction] = estimate{
+				up:   float64(env.CloudPath.EstimateTransfer(in, network.Uplink)),
+				exec: float64(dec.ExpectedTime),
+				down: float64(env.CloudPath.EstimateTransfer(out, network.Downlink)),
+			}
+		}
+	}
+	if env.VM != nil {
+		path := env.VMPath
+		if path == nil {
+			path = env.CloudPath
+		}
+		ests[model.PlaceVM] = estimate{
+			up:   float64(path.EstimateTransfer(in, network.Uplink)),
+			exec: float64(env.VM.ExecTime(probe)),
+			down: float64(path.EstimateTransfer(out, network.Downlink)),
+		}
+	}
+	return ests
+}
+
+// pathChannel is the planned airtime ledger for one serialized network
+// path: the time its half-duplex radio frees up.
+type pathChannel struct {
+	free float64
+}
+
+// pathChannels maps each remote placement to its path's airtime channel.
+// Placements behind the same physical path share one channel — a VM in
+// the serverless region contends with function invocations for the same
+// radio. Fair-share and uncontended paths get no channel: their
+// transfers overlap, so the uncontended estimate already prices them.
+func pathChannels(env *sched.Env) map[model.Placement]*pathChannel {
+	channels := make(map[model.Placement]*pathChannel)
+	byPath := make(map[*network.Path]*pathChannel)
+	add := func(p model.Placement, path *network.Path) {
+		if path == nil || !path.Config().Serialize {
+			return
+		}
+		c, ok := byPath[path]
+		if !ok {
+			c = &pathChannel{}
+			byPath[path] = c
+		}
+		channels[p] = c
+	}
+	add(model.PlaceEdge, env.EdgePath)
+	add(model.PlaceFunction, env.CloudPath)
+	vmPath := env.VMPath
+	if vmPath == nil {
+		vmPath = env.CloudPath
+	}
+	add(model.PlaceVM, vmPath)
+	return channels
+}
+
+// slotPool tracks per-placement planned availability: one entry per
+// concurrent execution slot, holding the time it frees up.
+type slotPool map[model.Placement][]float64
+
+func slotTable(env *sched.Env) slotPool {
+	s := slotPool{model.PlaceLocal: make([]float64, max(1, env.Device.Config().Cores))}
+	if env.Edge != nil {
+		cfg := env.Edge.Config()
+		s[model.PlaceEdge] = make([]float64, max(1, cfg.Servers*cfg.Cores))
+	}
+	if env.Functions != nil {
+		s[model.PlaceFunction] = make([]float64, functionSlots)
+	}
+	if env.VM != nil {
+		s[model.PlaceVM] = make([]float64, max(1, env.VM.Instances()*env.VM.Config().Cores))
+	}
+	return s
+}
+
+// earliest returns the index and free time of the placement's earliest
+// available slot.
+func (s slotPool) earliest(p model.Placement) (int, float64) {
+	slots := s[p]
+	if len(slots) == 0 {
+		return -1, math.Inf(1)
+	}
+	best, bestT := 0, slots[0]
+	for i, t := range slots {
+		if t < bestT {
+			best, bestT = i, t
+		}
+	}
+	return best, bestT
+}
+
+func (s slotPool) occupy(p model.Placement, slot int, until float64) {
+	if slots := s[p]; slot >= 0 && slot < len(slots) {
+		slots[slot] = until
+	}
+}

@@ -90,6 +90,7 @@ func Registry() []Experiment {
 		{ID: "E19", Claim: "online adaptation tracks regime drift within bounded regret of the static-best oracle", Run: E19Adaptive},
 		{ID: "E20", Claim: "regional failover with graceful degradation survives disasters fail-fast cannot", Run: E20Failover},
 		{ID: "E21", Claim: "the sharded engine drives million-UE flash crowds deterministically at any shard count", Run: E21FlashCrowd},
+		{ID: "E22", Claim: "precedence-aware rank placement beats oblivious release on wide DAG jobs", Run: E22DAGPlacement},
 	}
 	for i := range reg {
 		reg[i].Seq = i

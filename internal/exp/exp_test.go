@@ -53,8 +53,8 @@ func num(t *testing.T, cell string) float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 21 {
-		t.Fatalf("registry has %d experiments, want 21", len(reg))
+	if len(reg) != 22 {
+		t.Fatalf("registry has %d experiments, want 22", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {
@@ -879,5 +879,54 @@ func TestE21ShardCountInvariance(t *testing.T) {
 		if got := render(shards); got != ref {
 			t.Errorf("shards=%d output diverged from serial:\n%s\nvs\n%s", shards, got, ref)
 		}
+	}
+}
+
+func TestE22Shape(t *testing.T) {
+	tables, err := E22DAGPlacement(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("E22 produced %d tables, want 1", len(tables))
+	}
+	header, data := rows(t, tables[0])
+	if len(data) != 6 {
+		t.Fatalf("E22 has %d rows, want 3 shapes x 2 placements", len(data))
+	}
+	shape := col(t, header, "shape")
+	placement := col(t, header, "placement")
+	meanMk := col(t, header, "mean_mk_s")
+	critS := col(t, header, "crit_s")
+	slack := col(t, header, "slack_s")
+	fail := col(t, header, "fail")
+
+	mk := map[string]float64{} // "shape/placement" → mean makespan
+	for _, r := range data {
+		key := r[shape] + "/" + r[placement]
+		mk[key] = num(t, r[meanMk])
+		if num(t, r[fail]) != 0 {
+			t.Errorf("%s: failed jobs in a healthy run", key)
+		}
+		if num(t, r[meanMk]) <= 0 {
+			t.Errorf("%s: non-positive makespan", key)
+		}
+		// The critical-path partition means crit_s can never exceed the
+		// makespan it decomposes.
+		if c := num(t, r[critS]); c > num(t, r[meanMk])+1e-9 {
+			t.Errorf("%s: critical path %.3f exceeds makespan %.3f", key, c, num(t, r[meanMk]))
+		}
+		// The serial chain has no off-path nodes, so no slack.
+		if r[shape] == "narrow" {
+			if v := num(t, r[slack]); v != 0 {
+				t.Errorf("narrow/%s: non-zero slack %.3f on a chain", r[placement], v)
+			}
+		}
+	}
+	// The headline claim: on the wide fork-join, upward-rank placement
+	// beats precedence-oblivious release on mean makespan.
+	if mk["wide/rank"] >= mk["wide/oblivious"] {
+		t.Errorf("wide: rank %.3fs not better than oblivious %.3fs",
+			mk["wide/rank"], mk["wide/oblivious"])
 	}
 }

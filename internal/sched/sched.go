@@ -237,6 +237,15 @@ func New(env *Env, policy Policy, pred Predictor, opts ...Option) (*Scheduler, e
 // Policy returns the scheduler's policy.
 func (s *Scheduler) Policy() Policy { return s.policy }
 
+// Env returns the environment the scheduler dispatches into. Callers that
+// plan placements ahead of dispatch (the DAG rank placer) read substrate
+// estimates through it; they must not mutate it.
+func (s *Scheduler) Env() *Env { return s.env }
+
+// Predictor returns the scheduler's demand predictor, so precedence-aware
+// planners price nodes with the same estimates dispatch will use.
+func (s *Scheduler) Predictor() Predictor { return s.pred }
+
 // Stats returns the accumulated statistics.
 func (s *Scheduler) Stats() *Stats { return &s.stats }
 

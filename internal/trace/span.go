@@ -17,6 +17,7 @@ import (
 const (
 	SpanTask    = "task"
 	SpanAttempt = "attempt"
+	SpanJob     = "job" // DAG job root; its children are the node task spans
 
 	PhaseSubmit    = "submit"     // decided but no attempt launched yet (batching, shifting)
 	PhaseUplink    = "uplink"     // input bytes in flight to the execution site
@@ -106,6 +107,18 @@ type Tracer interface {
 	TaskDone(o model.Outcome, at sim.Time)
 }
 
+// JobTracer is the optional extension a Tracer can implement to receive
+// the DAG orchestrator's hook points: node tasks adopted under a job
+// trace, and the job's settlement. Kept separate from Tracer so existing
+// implementations stay valid. The same passivity contract applies.
+type JobTracer interface {
+	// AdoptTrace parents the task's (future) root span under the job's
+	// root span. Call before the task settles.
+	AdoptTrace(task model.TaskID, job uint64)
+	// JobDone records the settled job as a root span on the job trace.
+	JobDone(job uint64, app string, start, end sim.Time, status string, costUSD float64)
+}
+
 // RegionTracer is the optional extension a Tracer can implement to
 // receive the regional failover layer's hook points. Kept separate from
 // Tracer so existing implementations stay valid; the scheduler
@@ -138,6 +151,7 @@ type SpanRecorder struct {
 	roots    map[uint64]uint64   // trace → reserved root span id
 	attempts map[uint64]int      // trace → attempts started so far
 	byTrace  map[uint64][]uint64 // trace → attempt span ids, start order
+	adopted  map[uint64]uint64   // task trace → owning job trace (AdoptTrace)
 
 	// freeIDs pools the per-trace attempt-id slices: a settled task's
 	// slice is recycled for the next task instead of allocating, so
@@ -158,6 +172,7 @@ func NewSpanRecorder() *SpanRecorder {
 		roots:    make(map[uint64]uint64),
 		attempts: make(map[uint64]int),
 		byTrace:  make(map[uint64][]uint64),
+		adopted:  make(map[uint64]uint64),
 	}
 }
 
@@ -413,9 +428,17 @@ func (r *SpanRecorder) TaskDone(o model.Outcome, at sim.Time) {
 		status = StatusMissed
 	}
 
+	// A task adopted under a DAG job parents its root span there; the job
+	// root's ID is reserved now and materialises at JobDone.
+	var parent uint64
+	if job, ok := r.adopted[trace]; ok {
+		parent = r.rootFor(job)
+		delete(r.adopted, trace)
+	}
+
 	r.emitGaps(trace, root, start, end)
 	r.spans = append(r.spans, Span{
-		ID: root, Trace: trace,
+		ID: root, Trace: trace, Parent: parent,
 		Name: SpanTask, Backend: o.Placement.String(),
 		Start: start, End: end,
 		Attempt: o.Attempts, Status: status,
@@ -435,6 +458,28 @@ func (r *SpanRecorder) TaskDone(o model.Outcome, at sim.Time) {
 	delete(r.roots, trace)
 	delete(r.attempts, trace)
 
+	if r.limit > 0 && len(r.spans) > 2*r.limit {
+		r.compact()
+	}
+}
+
+// AdoptTrace implements JobTracer: when the task settles, its root span
+// will be parented under the job's root span instead of standing alone.
+func (r *SpanRecorder) AdoptTrace(task model.TaskID, job uint64) {
+	r.adopted[uint64(task)] = job
+}
+
+// JobDone implements JobTracer: it appends the job's root span — the
+// parent every adopted node task span points at — closing the job trace.
+func (r *SpanRecorder) JobDone(job uint64, app string, start, end sim.Time, status string, costUSD float64) {
+	root := r.rootFor(job)
+	r.spans = append(r.spans, Span{
+		ID: root, Trace: job,
+		Name: SpanJob, Backend: app,
+		Start: float64(start), End: float64(end),
+		Status: status, CostUSD: costUSD,
+	})
+	delete(r.roots, job)
 	if r.limit > 0 && len(r.spans) > 2*r.limit {
 		r.compact()
 	}

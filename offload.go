@@ -40,6 +40,7 @@ import (
 	"offload/internal/cicd"
 	"offload/internal/cloudvm"
 	"offload/internal/core"
+	"offload/internal/dag"
 	"offload/internal/device"
 	"offload/internal/edge"
 	"offload/internal/fault"
@@ -48,6 +49,7 @@ import (
 	"offload/internal/rng"
 	"offload/internal/sched"
 	"offload/internal/serverless"
+	"offload/internal/sim"
 	"offload/internal/workload"
 )
 
@@ -224,6 +226,56 @@ var (
 	// Templates returns all application templates keyed by name.
 	Templates = callgraph.Templates
 )
+
+// DAG application offloading (internal/dag + internal/workload): jobs
+// whose tasks carry precedence edges with data-transfer payloads,
+// released through the scheduler as their predecessors complete. Set
+// Config.DAG and submit with System.SubmitJob / System.SubmitJobStream.
+type (
+	// DAGConfig enables precedence-aware job submission on a System.
+	DAGConfig = core.DAGConfig
+	// DAGPlacement picks how a job's nodes are placed.
+	DAGPlacement = core.DAGPlacement
+	// Job is a validated directed acyclic graph of tasks.
+	Job = dag.Job
+	// JobNode is one task-to-be within a job.
+	JobNode = dag.Node
+	// JobEdge is one precedence constraint and its data payload.
+	JobEdge = dag.Edge
+	// JobResult is the per-job record: makespan, critical path, slack.
+	JobResult = dag.Result
+	// JobStats aggregates job results across a run.
+	JobStats = dag.Stats
+	// JobTemplate describes a population of generated DAG jobs.
+	JobTemplate = workload.JobTemplate
+	// JobGenerator draws deterministic random jobs from a template.
+	JobGenerator = workload.JobGenerator
+	// JobShape names a generated DAG family.
+	JobShape = workload.JobShape
+)
+
+// The DAG placement modes and generator shape families.
+const (
+	DAGOblivious  = core.DAGOblivious
+	DAGRank       = core.DAGRank
+	ShapePipeline = workload.ShapePipeline
+	ShapeForkJoin = workload.ShapeForkJoin
+	ShapeLayered  = workload.ShapeLayered
+)
+
+// NewJob returns an empty DAG job with the given deadline in simulated
+// seconds (0 = none).
+func NewJob(app string, deadline float64) *Job { return dag.New(app, sim.Duration(deadline)) }
+
+// NewJobGenerator returns a deterministic random-DAG generator over the
+// template's shape family.
+func NewJobGenerator(src *rng.Source, t JobTemplate) (*JobGenerator, error) {
+	return workload.NewJobGenerator(src, t)
+}
+
+// JobFromGraph converts an application call graph into a DAG job,
+// deriving per-node demand the same way TemplateFromGraph does.
+func JobFromGraph(g *Graph) (*Job, error) { return workload.JobFromGraph(g) }
 
 // Workload generation.
 type (

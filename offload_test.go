@@ -129,3 +129,47 @@ func TestRegionalFailoverJourney(t *testing.T) {
 		t.Fatal("cloud-east outage never detected")
 	}
 }
+
+func TestDAGJourney(t *testing.T) {
+	cfg := offload.DefaultConfig()
+	cfg.DAG = &offload.DAGConfig{Placement: offload.DAGRank}
+	sys, err := offload.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := offload.NewJobGenerator(sys.Src.Split(), offload.JobTemplate{
+		App: "render", Shape: offload.ShapeForkJoin, Nodes: 6,
+		MeanCycles: 2e9, CyclesSigma: 0.2, EdgeBytes: 2 << 20, Deadline: 3600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SubmitJobStream(offload.NewPoisson(sys.Src.Split(), 0.05), gen, 5); err != nil {
+		t.Fatal(err)
+	}
+	converted, err := offload.JobFromGraph(offload.VideoTranscode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SubmitJob(converted); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if err := sys.JobErr(); err != nil {
+		t.Fatal(err)
+	}
+	js := sys.JobStats()
+	if js.Jobs != 6 {
+		t.Fatalf("Jobs = %d, want 6", js.Jobs)
+	}
+	if js.Failed != 0 {
+		t.Fatalf("%d jobs failed", js.Failed)
+	}
+	if js.MeanMakespanS() <= 0 || js.MeanCritPathS() <= 0 {
+		t.Fatalf("degenerate books: makespan %g, crit %g",
+			js.MeanMakespanS(), js.MeanCritPathS())
+	}
+	if drift := js.MaxDriftS(); drift > 1e-9 {
+		t.Fatalf("critical path does not partition makespan: drift %g s", drift)
+	}
+}
